@@ -1,0 +1,213 @@
+package qfe
+
+// Benchmark harness: one benchmark per table/experiment of the paper's
+// evaluation section (§7), as indexed in DESIGN.md §3, plus micro-benchmarks
+// for the load-bearing primitives. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times differ from the paper's 2015 C++/MySQL testbed; the shapes
+// (who dominates, how costs scale) are what EXPERIMENTS.md compares.
+
+import (
+	"testing"
+
+	"qfe/internal/dbgen"
+	"qfe/internal/experiments"
+	"qfe/internal/feedback"
+)
+
+// BenchmarkTable1PerRoundStats regenerates Table 1: per-round statistics of
+// full QFE sessions for Q1 and Q2 on the scientific database.
+func BenchmarkTable1PerRoundStats(b *testing.B) {
+	for _, q := range []string{"Q1", "Q2"} {
+		b.Run(q, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table1(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2BetaSweep regenerates Table 2: β ∈ {1..5} on baseball
+// Q3–Q6.
+func BenchmarkTable2BetaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3DeltaSweep regenerates Table 3: the δ threshold sweep on
+// the scientific queries.
+func BenchmarkTable3DeltaSweep(b *testing.B) {
+	for _, q := range []string{"Q1", "Q2"} {
+		b.Run(q, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table3(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Alg4PerIteration regenerates Table 4: per-iteration |SP|
+// and Algorithm 4 runtime.
+func BenchmarkTable4Alg4PerIteration(b *testing.B) {
+	for _, q := range []string{"Q1", "Q2"} {
+		b.Run(q, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table4(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5Alg4Scaling regenerates Table 5: Algorithm 4 time vs |SP|.
+func BenchmarkTable5Alg4Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6CandidateSweep regenerates Tables 6 and 7: |QC| ∈ {5..80}
+// plus the first-iteration breakdown.
+func BenchmarkTable6CandidateSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpInitialPairSize regenerates the §7.7 initial-pair-size study.
+func BenchmarkExpInitialPairSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.InitialPairSize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpDomainEntropy regenerates the §7.7 active-domain entropy
+// study.
+func BenchmarkExpDomainEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DomainEntropy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpUserStudy regenerates the §7.7 user study (simulated
+// participants, both cost models).
+func BenchmarkExpUserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.UserStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks --------------------------------------------------------
+
+// BenchmarkMicroCandidateGeneration measures QBO candidate generation on
+// the worked Example 1.1 database.
+func BenchmarkMicroCandidateGeneration(b *testing.B) {
+	d, r := example11DB()
+	cfg := DefaultGenerateConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateCandidates(d, r, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSkylinePairs measures Algorithm 3 on Example 1.1.
+func BenchmarkMicroSkylinePairs(b *testing.B) {
+	d, r := example11DB()
+	qc, err := GenerateCandidates(d, r, DefaultGenerateConfig())
+	if err != nil || len(qc) == 0 {
+		b.Fatalf("candidates: %v", err)
+	}
+	j, err := JoinAll(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dbgen.DefaultOptions()
+	opts.Budget = Budget{MaxPairs: 100000}
+	gen, err := dbgen.New(d, j, qc, r, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.SkylinePairs()
+	}
+}
+
+// BenchmarkMicroFullSession measures a complete winnowing session with
+// worst-case feedback on Example 1.1.
+func BenchmarkMicroFullSession(b *testing.B) {
+	d, r := example11DB()
+	qc, err := GenerateCandidates(d, r, DefaultGenerateConfig())
+	if err != nil || len(qc) == 0 {
+		b.Fatalf("candidates: %v", err)
+	}
+	cfg := DefaultSessionConfig()
+	cfg.Gen.Budget = Budget{MaxPairs: 100000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(d, r, qc, feedback.WorstCase{}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroMinEdit measures the Hungarian-based relation edit
+// distance on 32-row relations.
+func BenchmarkMicroMinEdit(b *testing.B) {
+	schema := NewSchema("a", KindInt, "b", KindInt, "c", KindInt)
+	x := NewRelation("x", schema)
+	y := NewRelation("y", schema)
+	for i := 0; i < 32; i++ {
+		x.Append(NewTuple(i, i%5, i%7))
+		y.Append(NewTuple(i, (i+1)%5, i%7))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinEdit(x, y)
+	}
+}
+
+// example11DB builds the paper's Example 1.1 Employee database.
+func example11DB() (*Database, *Relation) {
+	d := NewDatabase()
+	emp := NewRelation("Employee", NewSchema(
+		"Eid", KindInt, "name", KindString, "gender", KindString,
+		"dept", KindString, "salary", KindInt))
+	emp.Append(
+		NewTuple(1, "Alice", "F", "Sales", 3700),
+		NewTuple(2, "Bob", "M", "IT", 4200),
+		NewTuple(3, "Celina", "F", "Service", 3000),
+		NewTuple(4, "Darren", "M", "IT", 5000),
+	)
+	d.MustAddTable(emp)
+	d.AddPrimaryKey("Employee", "Eid")
+	r := NewRelation("R", NewSchema("name", KindString)).
+		Append(NewTuple("Bob"), NewTuple("Darren"))
+	return d, r
+}

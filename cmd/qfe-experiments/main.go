@@ -1,0 +1,123 @@
+// Command qfe-experiments regenerates the paper's evaluation artifacts
+// (Tables 1–7 and the three §7.7 studies) and prints them as text tables.
+//
+// Usage:
+//
+//	qfe-experiments            # run everything
+//	qfe-experiments table1     # run a single experiment
+//	qfe-experiments -list      # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qfe/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func() error
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	show := func(t *experiments.TextTable, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		return nil
+	}
+
+	exps := []experiment{
+		{"table1", "per-round statistics for Q1 and Q2 (scientific)", func() error {
+			if err := show(experiments.Table1("Q1")); err != nil {
+				return err
+			}
+			return show(experiments.Table1("Q2"))
+		}},
+		{"table2", "effect of β on baseball Q3-Q6", func() error {
+			return show(experiments.Table2())
+		}},
+		{"table3", "effect of δ on scientific Q1 and Q2", func() error {
+			if err := show(experiments.Table3("Q1")); err != nil {
+				return err
+			}
+			return show(experiments.Table3("Q2"))
+		}},
+		{"table4", "Algorithm 4 per-iteration performance", func() error {
+			if err := show(experiments.Table4("Q1")); err != nil {
+				return err
+			}
+			return show(experiments.Table4("Q2"))
+		}},
+		{"table5", "Algorithm 4 scaling with |SP|", func() error {
+			return show(experiments.Table5())
+		}},
+		{"table6", "effect of |QC| on Q2 (includes Table 7 breakdown)", func() error {
+			t6, t7, err := experiments.Table6()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t6.String())
+			fmt.Println(t7.String())
+			return nil
+		}},
+		{"initsize", "§7.7 effect of initial database-result pair size", func() error {
+			return show(experiments.InitialPairSize())
+		}},
+		{"entropy", "§7.7 effect of active-domain entropy", func() error {
+			return show(experiments.DomainEntropy())
+		}},
+		{"userstudy", "§7.7 user study with simulated participants", func() error {
+			t, _, err := experiments.UserStudy()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.String())
+			return nil
+		}},
+	}
+
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	want := flag.Args()
+	run := func(e experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		t0 := time.Now()
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if len(want) == 0 {
+		for _, e := range exps {
+			run(e)
+		}
+		return
+	}
+	byName := map[string]experiment{}
+	for _, e := range exps {
+		byName[e.name] = e
+	}
+	for _, n := range want {
+		e, ok := byName[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", n)
+			os.Exit(2)
+		}
+		run(e)
+	}
+}

@@ -1,0 +1,156 @@
+// Command qfe is the interactive Query-From-Examples CLI.
+//
+// Given a database (CSV files with name:type headers) and a desired result
+// table, it generates candidate SPJ queries and walks the user through
+// feedback rounds — each round shows a minimally modified database and the
+// distinct results the remaining candidates produce; the user picks the one
+// their intended query would return (or 0 for "none of these").
+//
+// Usage:
+//
+//	qfe -result R.csv [-fk child.col=parent.col ...] table1.csv table2.csv ...
+//	qfe -demo            # run on the paper's Example 1.1 without files
+//
+// Foreign keys may be repeated; single-table databases need none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qfe"
+)
+
+type fkFlags []string
+
+func (f *fkFlags) String() string     { return strings.Join(*f, ",") }
+func (f *fkFlags) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	var (
+		resultPath = flag.String("result", "", "CSV file with the desired result table R")
+		demo       = flag.Bool("demo", false, "run the paper's Example 1.1 instead of loading files")
+		maxCand    = flag.Int("candidates", 32, "maximum number of candidate queries to generate")
+		fks        fkFlags
+	)
+	flag.Var(&fks, "fk", "foreign key as Child.col=Parent.col (repeatable)")
+	flag.Parse()
+
+	if *demo {
+		runDemo(*maxCand)
+		return
+	}
+	if *resultPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: qfe -result R.csv [-fk C.c=P.p ...] table.csv ... | qfe -demo")
+		os.Exit(2)
+	}
+
+	d := qfe.NewDatabase()
+	for _, path := range flag.Args() {
+		rel, err := loadCSV(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.AddTable(rel); err != nil {
+			fatal(err)
+		}
+	}
+	for _, fk := range fks {
+		parts := strings.SplitN(fk, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -fk %q, want Child.col=Parent.col", fk))
+		}
+		c := strings.SplitN(parts[0], ".", 2)
+		p := strings.SplitN(parts[1], ".", 2)
+		if len(c) != 2 || len(p) != 2 {
+			fatal(fmt.Errorf("bad -fk %q, want Child.col=Parent.col", fk))
+		}
+		d.AddForeignKey(c[0], []string{c[1]}, p[0], []string{p[1]})
+	}
+	r, err := loadCSV(*resultPath)
+	if err != nil {
+		fatal(err)
+	}
+	run(d, r, *maxCand)
+}
+
+func loadCSV(path string) (*qfe.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return qfe.ReadCSV(name, f)
+}
+
+func run(d *qfe.Database, r *qfe.Relation, maxCand int) {
+	if err := d.Validate(); err != nil {
+		fatal(fmt.Errorf("database constraints: %w", err))
+	}
+	cfg := qfe.DefaultGenerateConfig()
+	cfg.MaxCandidates = maxCand
+	qc, err := qfe.GenerateCandidates(d, r, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if len(qc) == 0 {
+		fatal(fmt.Errorf("no SPJ query produces the given result on this database"))
+	}
+	fmt.Printf("Generated %d candidate queries; starting feedback rounds.\n", len(qc))
+	fmt.Println("In each round, answer with the number of the result your intended")
+	fmt.Println("query would produce on the modified database (0 = none of them).")
+
+	s, err := qfe.NewSession(d, r, qc,
+		qfe.Interactive{In: os.Stdin, Out: os.Stdout}, qfe.DefaultSessionConfig())
+	if err != nil {
+		fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case out.Query != nil:
+		fmt.Printf("\nYour query:\n  %s\n", out.Query.SQL())
+	case out.Ambiguous:
+		fmt.Printf("\nThese %d queries are indistinguishable on every reachable database;\n", len(out.Remaining))
+		fmt.Println("any of them matches your feedback:")
+		for _, q := range out.Remaining {
+			fmt.Printf("  %s\n", q.SQL())
+		}
+	default:
+		fmt.Println("\nNone of the candidate queries matches your feedback.")
+		fmt.Println("Try increasing -candidates, or provide a richer example pair.")
+	}
+}
+
+func runDemo(maxCand int) {
+	d := qfe.NewDatabase()
+	emp := qfe.NewRelation("Employee", qfe.NewSchema(
+		"Eid", qfe.KindInt, "name", qfe.KindString, "gender", qfe.KindString,
+		"dept", qfe.KindString, "salary", qfe.KindInt))
+	emp.Append(
+		qfe.NewTuple(1, "Alice", "F", "Sales", 3700),
+		qfe.NewTuple(2, "Bob", "M", "IT", 4200),
+		qfe.NewTuple(3, "Celina", "F", "Service", 3000),
+		qfe.NewTuple(4, "Darren", "M", "IT", 5000),
+	)
+	d.MustAddTable(emp)
+	d.AddPrimaryKey("Employee", "Eid")
+	r := qfe.NewRelation("R", qfe.NewSchema("name", qfe.KindString)).
+		Append(qfe.NewTuple("Bob"), qfe.NewTuple("Darren"))
+	fmt.Println("Example 1.1 — Employee database:")
+	fmt.Println(emp)
+	fmt.Println("Desired result:")
+	fmt.Println(r)
+	run(d, r, maxCand)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qfe:", err)
+	os.Exit(1)
+}

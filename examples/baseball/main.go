@@ -1,0 +1,82 @@
+// Baseball: a three-table join workload (paper §7.1, queries Q3–Q6).
+//
+// The database mirrors the Lahman subset: Manager (200×11), Team (252×29)
+// and Batting (6977×15), joined by foreign keys into 8810 tuples. The
+// program runs QFE for the paper's Q4 — "managers, seasons and doubles for
+// four named players" — whose natural form is a disjunction of playerID
+// equalities, and shows the modified databases QFE presents along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qfe"
+	"qfe/internal/datasets"
+)
+
+func main() {
+	bb := datasets.NewBaseball()
+	d := bb.DB
+
+	fmt.Println("Baseball database:")
+	fmt.Print(d)
+
+	target := bb.Q4
+	r, err := target.Evaluate(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTarget query:\n  %s\n", target.SQL())
+	fmt.Printf("Result R: %d tuples (paper: 14)\n\n", r.Len())
+
+	cfg := qfe.DefaultGenerateConfig()
+	cfg.MaxCandidates = 19
+	qc, err := qfe.GenerateCandidates(d, r, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Candidates generated: %d\n", len(qc))
+	for i, q := range qc {
+		if i == 4 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", q.SQL())
+	}
+
+	// A verbose oracle: follow the target but also narrate each round the
+	// way a user would see it (database changes + result deltas).
+	oracle := &narratingOracle{inner: qfe.TargetOracle{Query: target}}
+	s, err := qfe.NewSession(d, r, qc, oracle, qfe.DefaultSessionConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nIdentified after %d round(s); surviving candidate(s): %d\n",
+		len(out.Iterations), len(out.Remaining))
+	for _, q := range out.Remaining {
+		fmt.Printf("  %s\n", q.SQL())
+	}
+}
+
+// narratingOracle prints each feedback round before delegating the choice.
+type narratingOracle struct {
+	inner qfe.TargetOracle
+}
+
+func (n *narratingOracle) Choose(v qfe.View) (int, bool, error) {
+	fmt.Printf("\n--- feedback round %d: %d result choice(s) ---\n", v.Iteration, len(v.Results))
+	fmt.Printf("database changes:\n%s", qfe.FormatEdits(v.BaseDB, v.Edits))
+	for i, res := range v.Results {
+		fmt.Printf("result %d differs from R by:\n%s", i+1, qfe.FormatResultDelta(v.BaseR, res))
+	}
+	choice, ok, err := n.inner.Choose(v)
+	if ok {
+		fmt.Printf("user picks result %d\n", choice+1)
+	}
+	return choice, ok, err
+}

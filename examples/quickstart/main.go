@@ -1,0 +1,87 @@
+// Quickstart: the paper's worked Example 1.1, end to end.
+//
+// A user wants "names of employees matching some condition" but cannot write
+// SQL. She provides the Employee table and the desired result {Bob, Darren}.
+// The query generator proposes candidates (gender = 'M', salary > 4000,
+// dept = 'IT', ...); QFE winnows them by showing minimally modified
+// databases. Here the feedback is automated to follow the salary query, so
+// the program is runnable without input; swap the oracle for
+// qfe.Interactive{In: os.Stdin, Out: os.Stdout} to answer yourself.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qfe"
+)
+
+func main() {
+	// The example pair (D, R) from the paper.
+	d := qfe.NewDatabase()
+	emp := qfe.NewRelation("Employee", qfe.NewSchema(
+		"Eid", qfe.KindInt, "name", qfe.KindString, "gender", qfe.KindString,
+		"dept", qfe.KindString, "salary", qfe.KindInt))
+	emp.Append(
+		qfe.NewTuple(1, "Alice", "F", "Sales", 3700),
+		qfe.NewTuple(2, "Bob", "M", "IT", 4200),
+		qfe.NewTuple(3, "Celina", "F", "Service", 3000),
+		qfe.NewTuple(4, "Darren", "M", "IT", 5000),
+	)
+	d.MustAddTable(emp)
+	d.AddPrimaryKey("Employee", "Eid")
+
+	r := qfe.NewRelation("R", qfe.NewSchema("name", qfe.KindString)).
+		Append(qfe.NewTuple("Bob"), qfe.NewTuple("Darren"))
+
+	fmt.Println("Database D:")
+	fmt.Println(emp)
+	fmt.Println("Desired result R:")
+	fmt.Println(r)
+
+	// Step 1: reverse-engineer candidate queries with Q(D) = R.
+	qc, err := qfe.GenerateCandidates(d, r, qfe.DefaultGenerateConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Query generator proposed %d candidates, e.g.:\n", len(qc))
+	for i, q := range qc {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", q.SQL())
+	}
+
+	// Step 2: winnow. The "user" here follows the salary interpretation.
+	target, err := qfe.ParseSQL(
+		"SELECT Employee.name FROM Employee WHERE Employee.salary > 4000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := qfe.DefaultSessionConfig()
+	s, err := qfe.NewSession(d, r, qc, qfe.TargetOracle{Query: target}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nQFE finished after %d feedback round(s).\n", len(out.Iterations))
+	for _, it := range out.Iterations {
+		fmt.Printf("  round %d: %d candidates -> %d result choices (db edits: %d)\n",
+			it.Iteration, it.NumQueries, it.NumSubsets, it.DBCost)
+	}
+	switch {
+	case out.Query != nil:
+		fmt.Printf("\nIdentified query:\n  %s\n", out.Query.SQL())
+	case out.Ambiguous:
+		fmt.Printf("\n%d candidates are indistinguishable on every reachable database:\n",
+			len(out.Remaining))
+		for _, q := range out.Remaining {
+			fmt.Printf("  %s\n", q.SQL())
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qfe/internal/db"
+	"qfe/internal/relation"
+)
+
+// Query is an SPJ query π_ℓ(σ_p(J)): the foreign-key join J of Tables,
+// filtered by the DNF predicate Pred, projected onto Projection. Distinct
+// selects set semantics (SELECT DISTINCT); the default is bag semantics, the
+// paper's §5 assumption.
+type Query struct {
+	Name       string   // optional label ("Q1", ...)
+	Tables     []string // base tables joined via foreign keys (the join schema)
+	Projection []string // qualified column names of the joined relation
+	Pred       Predicate
+	Distinct   bool
+}
+
+// JoinSchemaKey canonically identifies the query's join schema; queries with
+// equal keys can be winnowed together (§6.2).
+func (q *Query) JoinSchemaKey() string {
+	ts := append([]string(nil), q.Tables...)
+	sort.Strings(ts)
+	return strings.Join(ts, "⋈")
+}
+
+// Fingerprint canonically encodes the whole query (join schema, projection,
+// normalised predicate, semantics) for deduplication.
+func (q *Query) Fingerprint() string {
+	return q.JoinSchemaKey() + "\x03" + strings.Join(q.Projection, ",") +
+		"\x03" + q.Pred.Key() + "\x03" + fmt.Sprint(q.Distinct)
+}
+
+// Clone deep-copies the query.
+func (q *Query) Clone() *Query {
+	c := &Query{
+		Name:       q.Name,
+		Tables:     append([]string(nil), q.Tables...),
+		Projection: append([]string(nil), q.Projection...),
+		Distinct:   q.Distinct,
+	}
+	c.Pred = make(Predicate, len(q.Pred))
+	for i, conj := range q.Pred {
+		cc := make(Conjunct, len(conj))
+		for j, t := range conj {
+			tt := t
+			tt.Set = append([]relation.Value(nil), t.Set...)
+			cc[j] = tt
+		}
+		c.Pred[i] = cc
+	}
+	return c
+}
+
+// SQL renders the query as a SQL statement. Joins are emitted as NATURAL
+// JOIN-style explicit equality is omitted because the join conditions are
+// implied by the declared foreign keys; the CLI prints FK edges alongside.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.Projection) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(q.Projection, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(q.Tables, " JOIN "))
+	if len(q.Pred) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Pred.String())
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer; it prefixes the optional name.
+func (q *Query) String() string {
+	if q.Name != "" {
+		return q.Name + ": " + q.SQL()
+	}
+	return q.SQL()
+}
+
+// Evaluate runs the query against a database: joins q.Tables by foreign
+// keys, applies the predicate and the projection. The result relation's name
+// is the query name.
+func (q *Query) Evaluate(d *db.Database) (*relation.Relation, error) {
+	j, err := db.Join(d, q.Tables)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: evaluate %s: %w", q.Name, err)
+	}
+	return q.EvaluateOnJoined(j.Rel)
+}
+
+// EvaluateOnJoined runs selection+projection against an already-computed
+// joined relation. All candidate queries of one QFE session share the join,
+// so the session computes it once and calls this.
+func (q *Query) EvaluateOnJoined(joined *relation.Relation) (*relation.Relation, error) {
+	sel := joined.Select(q.Pred.Compile(joined.Schema))
+	out, err := sel.Project(q.Projection)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: evaluate %s: %w", q.Name, err)
+	}
+	if q.Distinct {
+		out = out.Distinct()
+	}
+	out.Name = q.Name
+	return out, nil
+}
+
+// ResultDelta is the effect of a set of joined-tuple modifications on one
+// query's result: projected tuples removed from and added to Q(D). It
+// captures Lemma 5.1's four cases per modified tuple.
+type ResultDelta struct {
+	Removed []relation.Tuple
+	Added   []relation.Tuple
+}
+
+// Empty reports whether the delta leaves the result unchanged tuple-for-
+// tuple (note: under bag semantics equal add/remove pairs cancel only if
+// they are the same value; Canceled handles that).
+func (d ResultDelta) Empty() bool { return len(d.Removed) == 0 && len(d.Added) == 0 }
+
+// DeltaOnJoined computes the query's result delta when the joined tuples at
+// the given indexes are replaced by new versions. modified maps joined-row
+// index to the new tuple. This is the incremental evaluator: Q(D') =
+// Q(D) − Removed ∪ Added, without re-running the join.
+func (q *Query) DeltaOnJoined(joined *relation.Relation, modified map[int]relation.Tuple) (ResultDelta, error) {
+	projIdx := make([]int, len(q.Projection))
+	for i, n := range q.Projection {
+		j := joined.Schema.IndexOf(n)
+		if j < 0 {
+			return ResultDelta{}, fmt.Errorf("algebra: delta %s: no column %q in join", q.Name, n)
+		}
+		projIdx[i] = j
+	}
+	var delta ResultDelta
+	// Deterministic order: visit modified rows in ascending index.
+	rows := make([]int, 0, len(modified))
+	for r := range modified {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for _, r := range rows {
+		if r < 0 || r >= joined.Len() {
+			return ResultDelta{}, fmt.Errorf("algebra: delta %s: row %d out of range", q.Name, r)
+		}
+		oldT, newT := joined.Tuples[r], modified[r]
+		oldIn := q.Pred.Matches(joined.Schema, oldT)
+		newIn := q.Pred.Matches(joined.Schema, newT)
+		switch {
+		case oldIn && newIn:
+			ox, nx := oldT.Project(projIdx), newT.Project(projIdx)
+			if !ox.Equal(nx) {
+				delta.Removed = append(delta.Removed, ox)
+				delta.Added = append(delta.Added, nx)
+			}
+		case oldIn && !newIn:
+			delta.Removed = append(delta.Removed, oldT.Project(projIdx))
+		case !oldIn && newIn:
+			delta.Added = append(delta.Added, newT.Project(projIdx))
+		}
+	}
+	return delta, nil
+}
+
+// ApplyDelta applies a delta to a base result (bag semantics) and returns
+// the resulting relation. baseCounts is consumed read-only.
+func ApplyDelta(base *relation.Relation, delta ResultDelta) *relation.Relation {
+	out := relation.New(base.Name, base.Schema)
+	remove := make(map[string]int)
+	for _, t := range delta.Removed {
+		remove[t.Key()]++
+	}
+	for _, t := range base.Tuples {
+		k := t.Key()
+		if remove[k] > 0 {
+			remove[k]--
+			continue
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	for _, t := range delta.Added {
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// DeltaFingerprint returns a canonical encoding of the post-delta result,
+// given the base result, under the query's semantics. Two queries whose
+// fingerprints agree produce the same result on D' — this is how QFE
+// partitions QC without materialising each result (§2, step 4).
+func (q *Query) DeltaFingerprint(base *relation.Relation, delta ResultDelta) string {
+	counts := base.Counts()
+	for _, t := range delta.Removed {
+		counts[t.Key()]--
+	}
+	for _, t := range delta.Added {
+		counts[t.Key()]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		if q.Distinct {
+			keys = append(keys, k)
+		} else {
+			keys = append(keys, fmt.Sprintf("%s×%d", k, c))
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/feedback"
+	"qfe/internal/relation"
+)
+
+// TestSetSemanticsWinnowing exercises the §6.1 extension: candidates with
+// DISTINCT results, where removals can be masked by surviving duplicates
+// and QFE must rely on the insert-style distinguishing strategy.
+func TestSetSemanticsWinnowing(t *testing.T) {
+	d := db.New()
+	emp := relation.New("Employee", relation.NewSchema(
+		"Eid", relation.KindInt, "name", relation.KindString,
+		"gender", relation.KindString, "dept", relation.KindString,
+		"salary", relation.KindInt))
+	emp.Append(
+		relation.NewTuple(1, "Alice", "F", "Sales", 3700),
+		relation.NewTuple(2, "Bob", "M", "IT", 4200),
+		relation.NewTuple(3, "Celina", "F", "Service", 3000),
+		relation.NewTuple(4, "Darren", "M", "IT", 5000),
+		relation.NewTuple(5, "Erik", "M", "IT", 4100), // duplicate dept
+	)
+	d.MustAddTable(emp)
+	d.AddPrimaryKey("Employee", "Eid")
+
+	mk := func(name string, term algebra.Term) *algebra.Query {
+		return &algebra.Query{Name: name, Tables: []string{"Employee"},
+			Projection: []string{"Employee.dept"},
+			Pred:       algebra.Predicate{algebra.Conjunct{term}},
+			Distinct:   true}
+	}
+	// Both produce DISTINCT {IT} on D.
+	qc := []*algebra.Query{
+		mk("A", algebra.NewTerm("Employee.gender", algebra.OpEQ, relation.Str("M"))),
+		mk("B", algebra.NewTerm("Employee.salary", algebra.OpGT, relation.Int(4000))),
+	}
+	r := relation.New("R", relation.NewSchema("dept", relation.KindString)).
+		Append(relation.NewTuple("IT"))
+	for _, q := range qc {
+		res, err := q.Evaluate(d)
+		if err != nil || !res.SetEqual(r) {
+			t.Fatalf("%s should produce {IT}: %v %v", q.Name, res, err)
+		}
+	}
+
+	for _, target := range qc {
+		s, err := NewSession(d, r, qc, feedback.Target{Query: target}, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Run()
+		if err != nil {
+			t.Fatalf("target %s: %v", target.Name, err)
+		}
+		if !out.Found {
+			t.Fatalf("target %s not found: %+v", target.Name, out)
+		}
+		if out.Query == nil || out.Query.Name != target.Name {
+			t.Errorf("target %s: identified %v", target.Name, out.Query)
+		}
+	}
+}
+
+// TestMixedSemanticsCandidates mixes bag- and set-semantics candidates in
+// one session; the fingerprints must keep them apart when duplicates exist.
+func TestMixedSemanticsCandidates(t *testing.T) {
+	d := db.New()
+	tt := relation.New("T", relation.NewSchema(
+		"id", relation.KindInt, "cat", relation.KindString, "v", relation.KindInt))
+	tt.Append(
+		relation.NewTuple(1, "a", 10),
+		relation.NewTuple(2, "a", 20),
+		relation.NewTuple(3, "b", 30),
+	)
+	d.MustAddTable(tt)
+	d.AddPrimaryKey("T", "id")
+
+	bag := &algebra.Query{Name: "bag", Tables: []string{"T"}, Projection: []string{"T.cat"},
+		Pred: algebra.Predicate{algebra.Conjunct{
+			algebra.NewTerm("T.v", algebra.OpLE, relation.Int(20))}}}
+	set := &algebra.Query{Name: "set", Tables: []string{"T"}, Projection: []string{"T.cat"},
+		Pred: algebra.Predicate{algebra.Conjunct{
+			algebra.NewTerm("T.v", algebra.OpLE, relation.Int(20))}},
+		Distinct: true}
+
+	rb, _ := bag.Evaluate(d)
+	rs, _ := set.Evaluate(d)
+	if rb.Len() != 2 || rs.Len() != 1 {
+		t.Fatalf("fixture: bag %d set %d", rb.Len(), rs.Len())
+	}
+	// They disagree on D already, so any session with R = bag result must
+	// immediately exclude the distinct variant via fingerprints.
+	if bag.DeltaFingerprint(rb, algebra.ResultDelta{}) ==
+		set.DeltaFingerprint(rs, algebra.ResultDelta{}) {
+		t.Error("bag and set fingerprints must differ when duplicates exist")
+	}
+}

@@ -1,0 +1,294 @@
+// Package core implements the QFE driver (paper §2, Algorithm 1): starting
+// from a database-result pair (D, R) and a candidate query set QC, it
+// iteratively asks the Database Generator for a distinguishing database D',
+// partitions QC by the candidates' results on D', obtains feedback on which
+// result is correct, and prunes the rest — until a single candidate (or an
+// equivalence class of provably indistinguishable candidates) remains.
+//
+// The driver also implements the §6.2 extension: candidates with different
+// join schemas are winnowed group by group, largest group first.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/dbgen"
+	"qfe/internal/feedback"
+	"qfe/internal/relation"
+	"qfe/internal/tupleclass"
+)
+
+// Config tunes a session. Zero values select the paper's defaults.
+type Config struct {
+	// Gen configures the Database Generator (β, δ, search caps).
+	Gen dbgen.Options
+	// MaxIterations bounds the winnowing loop per join-schema group
+	// (safety; the loop provably shrinks QC every round otherwise).
+	MaxIterations int
+	// MergeEquivalent pre-merges candidates that are indistinguishable over
+	// the tuple-class space (default on; set MaxEquivClasses to bound the
+	// truth-table enumeration).
+	MergeEquivalent bool
+	MaxEquivClasses int
+}
+
+// DefaultConfig returns the paper's defaults (β = 1, scaled δ).
+func DefaultConfig() Config {
+	return Config{
+		Gen:             dbgen.DefaultOptions(),
+		MaxIterations:   64,
+		MergeEquivalent: true,
+		MaxEquivClasses: 200000,
+	}
+}
+
+// IterationStats records one feedback round — the quantities of the paper's
+// Table 1, plus the Table 7 breakdown.
+type IterationStats struct {
+	Iteration    int
+	NumQueries   int // |QC| at the start of the round
+	NumSubsets   int // k
+	SkylinePairs int // |SP|
+	Enumerated   int // (STC,DTC) pairs considered by Algorithm 3
+
+	ExecTime       time.Duration // whole round
+	Alg3Time       time.Duration
+	Alg4Time       time.Duration
+	ConcretizeTime time.Duration
+
+	DBCost        int
+	ResultCost    int
+	AvgResultCost float64
+	ChosenSubset  int
+	ChosenSize    int
+}
+
+// Outcome is the result of a session run.
+type Outcome struct {
+	// Found reports whether feedback converged on a candidate.
+	Found bool
+	// Query is the identified target (nil when the remaining candidates are
+	// mutually indistinguishable; see Remaining).
+	Query *algebra.Query
+	// Remaining lists the final candidate set, including all members of a
+	// merged equivalence class.
+	Remaining []*algebra.Query
+	// Ambiguous marks a termination with >1 indistinguishable candidates.
+	Ambiguous bool
+
+	Iterations []IterationStats
+	TotalTime  time.Duration
+	// TotalModCost sums database and result modification costs over all
+	// rounds (the "modification cost" of Tables 2, 3 and 6).
+	TotalModCost int
+	// QueryGenTime is the time attributed to candidate generation by the
+	// caller (reported inside the first iteration in the paper's tables).
+	QueryGenTime time.Duration
+}
+
+// Session drives Algorithm 1 for one (D, R, QC) instance.
+type Session struct {
+	DB     *db.Database
+	R      *relation.Relation
+	QC     []*algebra.Query
+	Oracle feedback.Oracle
+	Config Config
+
+	joins map[string]*db.Joined
+}
+
+// NewSession validates the inputs and prepares a session.
+func NewSession(d *db.Database, r *relation.Relation, qc []*algebra.Query,
+	oracle feedback.Oracle, cfg Config) (*Session, error) {
+	if len(qc) == 0 {
+		return nil, errors.New("core: empty candidate set")
+	}
+	if oracle == nil {
+		return nil, errors.New("core: nil oracle")
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 64
+	}
+	if cfg.MaxEquivClasses <= 0 {
+		cfg.MaxEquivClasses = 200000
+	}
+	return &Session{DB: d, R: r, QC: qc, Oracle: oracle, Config: cfg,
+		joins: map[string]*db.Joined{}}, nil
+}
+
+// Run executes Algorithm 1 and returns the outcome.
+func (s *Session) Run() (*Outcome, error) {
+	start := time.Now()
+	out := &Outcome{}
+
+	// §6.2: group candidates by join schema, process larger groups first.
+	groups := map[string][]*algebra.Query{}
+	var keys []string
+	for _, q := range s.QC {
+		k := q.JoinSchemaKey()
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], q)
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if len(groups[keys[i]]) != len(groups[keys[j]]) {
+			return len(groups[keys[i]]) > len(groups[keys[j]])
+		}
+		return keys[i] < keys[j]
+	})
+
+	for _, k := range keys {
+		found, err := s.runGroup(groups[k], out)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			out.Found = true
+			break
+		}
+	}
+	out.TotalTime = time.Since(start)
+	return out, nil
+}
+
+// runGroup winnows one join-schema group. It returns true when feedback
+// converged inside this group (target identified or provably ambiguous).
+func (s *Session) runGroup(qc []*algebra.Query, out *Outcome) (bool, error) {
+	joined, err := s.joinFor(qc[0])
+	if err != nil {
+		return false, err
+	}
+
+	// Merge candidates that no reachable modification can distinguish.
+	members := map[string][]*algebra.Query{}
+	reps := qc
+	if s.Config.MergeEquivalent && len(qc) > 1 {
+		space, err := tupleclass.NewSpace(joined.Rel, qc)
+		if err != nil {
+			return false, err
+		}
+		eq := space.IndistinguishableGroups(s.Config.MaxEquivClasses)
+		reps = reps[:0:0]
+		for _, grp := range eq {
+			rep := qc[grp[0]]
+			reps = append(reps, rep)
+			for _, qi := range grp {
+				members[rep.Fingerprint()] = append(members[rep.Fingerprint()], qc[qi])
+			}
+		}
+	} else {
+		for _, q := range qc {
+			members[q.Fingerprint()] = []*algebra.Query{q}
+		}
+	}
+
+	for iter := 1; len(reps) > 1; iter++ {
+		if iter > s.Config.MaxIterations {
+			return false, fmt.Errorf("core: exceeded %d iterations with %d candidates left",
+				s.Config.MaxIterations, len(reps))
+		}
+		t0 := time.Now()
+		gen, err := dbgen.New(s.DB, joined, reps, s.R, s.Config.Gen)
+		if err != nil {
+			return false, err
+		}
+		res, err := gen.Generate()
+		if errors.Is(err, dbgen.ErrNoSplit) {
+			// Remaining candidates cannot be separated: ambiguous success.
+			s.finish(out, reps, members)
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+
+		view := feedback.View{
+			Iteration: iter,
+			BaseDB:    s.DB,
+			BaseR:     s.R,
+			NewDB:     res.DB,
+			Edits:     res.Edits,
+			Results:   res.Results,
+			Groups:    res.Partition,
+			Queries:   reps,
+		}
+		choice, ok, err := s.Oracle.Choose(view)
+		if err != nil {
+			return false, err
+		}
+		stats := IterationStats{
+			Iteration:      iter,
+			NumQueries:     len(reps),
+			NumSubsets:     len(res.Partition),
+			SkylinePairs:   res.SkylinePairs,
+			Enumerated:     res.EnumeratedPairs,
+			ExecTime:       time.Since(t0),
+			Alg3Time:       res.Alg3Time,
+			Alg4Time:       res.Alg4Time,
+			ConcretizeTime: res.ConcretizeTime,
+			DBCost:         res.DBCost,
+			ResultCost:     res.ResultCost,
+			AvgResultCost:  res.AvgResultCost,
+		}
+		if !ok {
+			// None of the presented results is correct: the target is not
+			// in this group (§2 / §6.2); stop winnowing it.
+			out.Iterations = append(out.Iterations, stats)
+			out.TotalModCost += res.DBCost + res.ResultCost
+			return false, nil
+		}
+		if choice < 0 || choice >= len(res.Partition) {
+			return false, fmt.Errorf("core: oracle chose %d of %d results", choice, len(res.Partition))
+		}
+		stats.ChosenSubset = choice
+		stats.ChosenSize = len(res.Partition[choice])
+		out.Iterations = append(out.Iterations, stats)
+		out.TotalModCost += res.DBCost + res.ResultCost
+
+		next := make([]*algebra.Query, 0, len(res.Partition[choice]))
+		for _, qi := range res.Partition[choice] {
+			next = append(next, reps[qi])
+		}
+		reps = next
+	}
+	s.finish(out, reps, members)
+	return true, nil
+}
+
+// finish expands the surviving representatives into their equivalence-class
+// members and fills the outcome.
+func (s *Session) finish(out *Outcome, reps []*algebra.Query, members map[string][]*algebra.Query) {
+	var remaining []*algebra.Query
+	for _, rep := range reps {
+		ms := members[rep.Fingerprint()]
+		if len(ms) == 0 {
+			ms = []*algebra.Query{rep}
+		}
+		remaining = append(remaining, ms...)
+	}
+	out.Remaining = remaining
+	if len(remaining) == 1 {
+		out.Query = remaining[0]
+	} else {
+		out.Ambiguous = true
+	}
+}
+
+func (s *Session) joinFor(q *algebra.Query) (*db.Joined, error) {
+	k := q.JoinSchemaKey()
+	if j, ok := s.joins[k]; ok {
+		return j, nil
+	}
+	j, err := db.Join(s.DB, q.Tables)
+	if err != nil {
+		return nil, err
+	}
+	s.joins[k] = j
+	return j, nil
+}

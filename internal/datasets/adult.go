@@ -1,0 +1,153 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/relation"
+)
+
+// Adult mirrors the §7.7 user-study relation: a single census-like table of
+// 5227 rows (the paper's extract of the 1994 Census "Adult" dataset) with
+// mixed categorical and numeric attributes, plus the three synthetic target
+// queries used in the study. Background data is constrained so each target
+// query selects only its planted rows, keeping result sizes small and
+// stable.
+type Adult struct {
+	DB      *db.Database
+	Targets []*algebra.Query // U1, U2, U3
+}
+
+// AdultTable is the table name.
+const AdultTable = "Adult"
+
+// NewAdult generates the dataset.
+func NewAdult() *Adult {
+	rng := rand.New(rand.NewSource(19940601))
+
+	workclasses := []string{"Private", "Self-emp", "Federal-gov", "Local-gov", "State-gov"}
+	educations := []string{"HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate", "11th"}
+	maritals := []string{"Married", "Never-married", "Divorced", "Widowed"}
+	occupations := []string{"Tech-support", "Craft-repair", "Sales", "Exec-managerial",
+		"Prof-specialty", "Machine-op", "Adm-clerical", "Farming-fishing"}
+	races := []string{"White", "Black", "Asian-Pac", "Amer-Indian", "Other"}
+	sexes := []string{"Male", "Female"}
+	countries := []string{"United-States", "Mexico", "Philippines", "Germany", "Canada", "India"}
+
+	rel := relation.New(AdultTable, relation.NewSchema(
+		"id", relation.KindInt,
+		"age", relation.KindInt,
+		"workclass", relation.KindString,
+		"education", relation.KindString,
+		"education_num", relation.KindInt,
+		"marital_status", relation.KindString,
+		"occupation", relation.KindString,
+		"race", relation.KindString,
+		"sex", relation.KindString,
+		"capital_gain", relation.KindInt,
+		"hours_per_week", relation.KindInt,
+		"native_country", relation.KindString,
+		"income", relation.KindString,
+	))
+
+	const total = 5227
+	const planted = 15
+	// Row ids come from a seeded permutation so the planted rows do not get
+	// contiguous ids — contiguous ids would let the query generator invent
+	// id-range predicates no real user intends (and whose tuple-class
+	// modifications could only violate the primary key).
+	idPerm := rng.Perm(total)
+	for i := 0; i < total-planted; i++ {
+		age := 17 + rng.Intn(74) // 17..90
+		wc := workclasses[rng.Intn(len(workclasses))]
+		edu := educations[rng.Intn(len(educations))]
+		occ := occupations[rng.Intn(len(occupations))]
+		sex := sexes[rng.Intn(len(sexes))]
+		hours := 10 + rng.Intn(70) // 10..79
+		gain := 0
+		if rng.Intn(10) == 0 {
+			gain = rng.Intn(20000)
+		}
+		// Background constraints that reserve the target regions for the
+		// planted rows (see type comment):
+		if edu == "Doctorate" && hours > 55 {
+			hours = 35 + rng.Intn(21) // U1 region: Doctorate ∧ hours>60
+		}
+		if age > 74 && gain > 5000 {
+			gain = rng.Intn(5001) // U2 region: age>74 ∧ capital_gain>8000
+		}
+		if wc == "Federal-gov" && occ == "Tech-support" {
+			sex = "Male" // U3 region: that combo with sex = Female
+		}
+		rel.Append(relation.NewTuple(
+			idPerm[i]+1, age, wc, edu, 3+rng.Intn(14),
+			maritals[rng.Intn(len(maritals))], occ,
+			races[rng.Intn(len(races))], sex,
+			gain, hours,
+			countries[rng.Intn(len(countries))],
+			[]string{"<=50K", ">50K"}[rng.Intn(10)/8],
+		))
+	}
+	// Planted rows: 5 for U1, 4 for U2, 6 for U3.
+	next := total - planted
+	add := func(age int, wc, edu string, eduNum int, occ, sex string, gain, hours int) {
+		rel.Append(relation.NewTuple(
+			idPerm[next]+1, age, wc, edu, eduNum, "Married", occ, "White", sex,
+			gain, hours, "United-States", ">50K"))
+		next++
+	}
+	for i := 0; i < 5; i++ { // U1: Doctorate ∧ hours > 60
+		add(35+i*3, "Private", "Doctorate", 16, "Prof-specialty", "Male", 0, 61+i*4)
+	}
+	for i := 0; i < 4; i++ { // U2: age > 74 ∧ capital_gain > 8000
+		add(75+i*3, "Self-emp", "Bachelors", 13, "Exec-managerial", "Female", 8500+i*1000, 20+i*5)
+	}
+	for i := 0; i < 6; i++ { // U3: Federal-gov ∧ Tech-support ∧ Female
+		add(28+i*5, "Federal-gov", "HS-grad", 9, "Tech-support", "Female", 0, 40)
+	}
+
+	d := db.New()
+	d.MustAddTable(rel)
+	d.AddPrimaryKey(AdultTable, "id")
+
+	a := &Adult{DB: d}
+	proj := func(cols ...string) []string {
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			out[i] = AdultTable + "." + c
+		}
+		return out
+	}
+	a.Targets = []*algebra.Query{
+		{
+			Name:       "U1",
+			Tables:     []string{AdultTable},
+			Projection: proj("age", "occupation", "hours_per_week"),
+			Pred: algebra.Predicate{algebra.Conjunct{
+				algebra.NewTerm(AdultTable+".education", algebra.OpEQ, relation.Str("Doctorate")),
+				algebra.NewTerm(AdultTable+".hours_per_week", algebra.OpGT, relation.Int(60)),
+			}},
+		},
+		{
+			Name:       "U2",
+			Tables:     []string{AdultTable},
+			Projection: proj("age", "occupation", "capital_gain"),
+			Pred: algebra.Predicate{algebra.Conjunct{
+				algebra.NewTerm(AdultTable+".age", algebra.OpGT, relation.Int(74)),
+				algebra.NewTerm(AdultTable+".capital_gain", algebra.OpGT, relation.Int(8000)),
+			}},
+		},
+		{
+			Name:       "U3",
+			Tables:     []string{AdultTable},
+			Projection: proj("age", "education", "hours_per_week"),
+			Pred: algebra.Predicate{algebra.Conjunct{
+				algebra.NewTerm(AdultTable+".workclass", algebra.OpEQ, relation.Str("Federal-gov")),
+				algebra.NewTerm(AdultTable+".occupation", algebra.OpEQ, relation.Str("Tech-support")),
+				algebra.NewTerm(AdultTable+".sex", algebra.OpEQ, relation.Str("Female")),
+			}},
+		},
+	}
+	return a
+}

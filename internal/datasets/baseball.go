@@ -1,0 +1,301 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/relation"
+)
+
+// Baseball mirrors the Lahman baseball subset of §7.1: Manager
+// (200 rows × 11 columns), Team (252 rows × 29 columns) and Batting
+// (6977 rows × 15 columns), with foreign keys Manager→Team and Batting→Team
+// on (teamID, year); the three-way foreign-key join has 8810 tuples (some
+// team-seasons had two managers, fanning batting rows out). Q3–Q6 are the
+// paper's four synthetic queries with result cardinalities 5, 14, 4 and 4.
+//
+// Column renames vs. Lahman (documented in DESIGN.md): 2B→doubles,
+// 3B→triples, so every identifier survives a SQL parser.
+type Baseball struct {
+	DB                 *db.Database
+	Q3, Q4, Q5, Q6     *algebra.Query
+	TeamYears          int // 252
+	CoveredSingle      int // team-years with exactly one manager
+	CoveredDouble      int // team-years with two managers
+	ExpectedJoinedSize int // 8810
+}
+
+// Baseball table names.
+const (
+	BBManager = "Manager"
+	BBTeam    = "Team"
+	BBBatting = "Batting"
+)
+
+const (
+	bbTeams     = 28
+	bbYears     = 9 // 1979..1987
+	bbFirstYear = 1979
+)
+
+var bbTeamNames = []string{
+	"ATL", "BAL", "BOS", "CAL", "CHA", "CIN", "CLE", "DET", "HOU", "KCA",
+	"LAN", "MIL", "MIN", "ML4", "MON", "NYA", "NYN", "OAK", "PHI", "PIT",
+	"SDN", "SEA", "SFN", "SLN", "TEX", "TOR", "WS1", "CHN",
+}
+
+// NewBaseball generates the dataset.
+func NewBaseball() *Baseball {
+	rng := rand.New(rand.NewSource(19871025))
+
+	// ---- Team: 252 rows, 29 columns --------------------------------------
+	team := relation.New(BBTeam, relation.NewSchema(
+		"teamID", relation.KindString, "year", relation.KindInt,
+		"lgID", relation.KindString, "divID", relation.KindString,
+		"franchID", relation.KindString, "name", relation.KindString,
+		"park", relation.KindString, "rank", relation.KindInt,
+		"G", relation.KindInt, "Ghome", relation.KindInt,
+		"W", relation.KindInt, "L", relation.KindInt,
+		"R", relation.KindInt, "AB", relation.KindInt,
+		"H", relation.KindInt, "doubles", relation.KindInt,
+		"triples", relation.KindInt, "HR", relation.KindInt,
+		"BB", relation.KindInt, "SO", relation.KindInt,
+		"SB", relation.KindInt, "RA", relation.KindInt,
+		"ER", relation.KindInt, "ERA", relation.KindFloat,
+		"IP", relation.KindInt, "HA", relation.KindInt,
+		"BBA", relation.KindInt, "SOA", relation.KindInt,
+		"attendance", relation.KindInt,
+	))
+	for t := 0; t < bbTeams; t++ {
+		for y := 0; y < bbYears; y++ {
+			w := 60 + rng.Intn(45)
+			team.Append(relation.NewTuple(
+				bbTeamNames[t], bbFirstYear+y,
+				[]string{"AL", "NL"}[t%2], []string{"E", "W"}[rng.Intn(2)],
+				bbTeamNames[t], "Club "+bbTeamNames[t],
+				fmt.Sprintf("%s Park", bbTeamNames[t]), 1+rng.Intn(7),
+				162, 81, w, 162-w,
+				600+rng.Intn(300), 5300+rng.Intn(400),
+				1300+rng.Intn(250), 200+rng.Intn(120),
+				25+rng.Intn(40), 80+rng.Intn(120),
+				400+rng.Intn(250), 700+rng.Intn(500),
+				60+rng.Intn(120), 600+rng.Intn(300),
+				550+rng.Intn(250), round3(3+rng.Float64()*2),
+				4000+rng.Intn(800), 1300+rng.Intn(250),
+				400+rng.Intn(200), 700+rng.Intn(400),
+				1000000+rng.Intn(2000000),
+			))
+		}
+	}
+	// Q6 needs controlled Team.IP / Team.BBA on the team-years where
+	// esaskni01 plays (team-year indexes 110..114).
+	ipIdx, bbaIdx := team.Schema.MustIndexOf("IP"), team.Schema.MustIndexOf("BBA")
+	for i, vals := range map[int][2]int{
+		110: {4500, 500}, // IP > 4380                       -> satisfies
+		111: {4300, 450}, // IP ≤ 4380 ∧ BBA ≤ 485           -> satisfies
+		112: {4400, 520}, // IP > 4380                       -> satisfies
+		113: {4200, 480}, // IP ≤ 4380 ∧ BBA ≤ 485           -> satisfies
+		114: {4100, 550}, // IP ≤ 4380 ∧ BBA > 485           -> fails
+	} {
+		team.Tuples[i][ipIdx] = relation.Int(int64(vals[0]))
+		team.Tuples[i][bbaIdx] = relation.Int(int64(vals[1]))
+	}
+
+	// ---- Manager: 200 rows, 11 columns -----------------------------------
+	// Team-year coverage: indexes 0..24 have two managers, 25..174 one,
+	// 175..251 none. 25·2 + 150·1 = 200 managers.
+	manager := relation.New(BBManager, relation.NewSchema(
+		"managerID", relation.KindString, "year", relation.KindInt,
+		"teamID", relation.KindString, "lgID", relation.KindString,
+		"inseason", relation.KindInt, "G", relation.KindInt,
+		"W", relation.KindInt, "L", relation.KindInt,
+		"rank", relation.KindInt, "plyrMgr", relation.KindString,
+		"half", relation.KindInt,
+	))
+	mgrSeq := 0
+	addManager := func(ty, inseason int) {
+		t, y := ty/bbYears, ty%bbYears
+		g := 162 / (inseason + 1)
+		w := g / 3 * 2
+		manager.Append(relation.NewTuple(
+			fmt.Sprintf("mgr%03d", mgrSeq), bbFirstYear+y, bbTeamNames[t],
+			[]string{"AL", "NL"}[t%2], inseason+1, g, w, g-w,
+			1+rng.Intn(7), []string{"N", "Y"}[rng.Intn(10)/9], 1,
+		))
+		mgrSeq++
+	}
+	for ty := 0; ty < 25; ty++ {
+		addManager(ty, 0)
+		addManager(ty, 1)
+	}
+	for ty := 25; ty < 175; ty++ {
+		addManager(ty, 0)
+	}
+
+	// ---- Batting: 6977 rows, 15 columns ----------------------------------
+	// Quotas per team-year: double-manager 80 each (2000 rows ×2 = 4000
+	// joined), single 32/33 each (4810 ×1), uncovered 2/3 each (167, drop
+	// out of the manager join): 4810 + 4000 = 8810 joined tuples.
+	batting := relation.New(BBBatting, relation.NewSchema(
+		"playerID", relation.KindString, "year", relation.KindInt,
+		"teamID", relation.KindString, "stint", relation.KindInt,
+		"lgID", relation.KindString, "G", relation.KindInt,
+		"AB", relation.KindInt, "R", relation.KindInt,
+		"H", relation.KindInt, "doubles", relation.KindInt,
+		"triples", relation.KindInt, "HR", relation.KindInt,
+		"RBI", relation.KindInt, "SB", relation.KindInt,
+		"BB", relation.KindInt,
+	))
+	quota := func(ty int) int {
+		switch {
+		case ty < 25:
+			return 80
+		case ty < 175:
+			if ty < 35 {
+				return 33
+			}
+			return 32
+		default:
+			if ty < 188 {
+				return 3
+			}
+			return 2
+		}
+	}
+	tyRowStart := map[int]int{}
+	for ty := 0; ty < bbTeams*bbYears; ty++ {
+		tyRowStart[ty] = batting.Len()
+		t, y := ty/bbYears, ty%bbYears
+		for k := 0; k < quota(ty); k++ {
+			pid := fmt.Sprintf("p%04d", (ty*7+k*13)%800)
+			batting.Append(relation.NewTuple(
+				pid, bbFirstYear+y, bbTeamNames[t], 1,
+				[]string{"AL", "NL"}[t%2], 20+rng.Intn(142),
+				50+rng.Intn(550), rng.Intn(120), 10+rng.Intn(190),
+				4+rng.Intn(46), rng.Intn(15), rng.Intn(41),
+				rng.Intn(130), rng.Intn(60), rng.Intn(100),
+			))
+		}
+	}
+
+	// Planted players (all on single-manager team-years so multiplicities
+	// are exact). plant overwrites one generic row of the team-year.
+	// Planted triples values sit above the background range (0..14) so the
+	// projected tuples of Q4–Q6 are collision-free and anchor the query
+	// generator, mirroring the distinctive stat lines of the real players.
+	type plantSpec struct {
+		ty           int
+		pid          string
+		hr, dbl, tpl int
+	}
+	plants := []plantSpec{
+		// Q4: 4+4+3+3 = 14 joined rows.
+		{60, "sotoma01", 10, 20, 15}, {61, "sotoma01", 12, 22, 16}, {62, "sotoma01", 9, 18, 17}, {63, "sotoma01", 11, 25, 18},
+		{70, "brownto05", 3, 15, 15}, {71, "brownto05", 5, 17, 16}, {72, "brownto05", 2, 12, 17}, {73, "brownto05", 4, 19, 18},
+		{80, "pariske01", 6, 21, 15}, {81, "pariske01", 7, 23, 16}, {82, "pariske01", 8, 26, 17},
+		{90, "welshch01", 1, 9, 15}, {91, "welshch01", 2, 11, 16}, {92, "welshch01", 3, 13, 17},
+		// Q5: rosepe01, HR>1 ∧ doubles≤3 in four seasons, fails in two.
+		{100, "rosepe01", 5, 2, 15}, {101, "rosepe01", 3, 1, 16}, {102, "rosepe01", 7, 3, 17}, {103, "rosepe01", 4, 0, 18},
+		{104, "rosepe01", 0, 2, 19}, // HR not > 1
+		{105, "rosepe01", 6, 9, 19}, // doubles not ≤ 3
+		// Q6: esaskni01 on team-years 110..114 (Team.IP/BBA control above).
+		{110, "esaskni01", 14, 20, 15}, {111, "esaskni01", 15, 21, 16},
+		{112, "esaskni01", 16, 22, 17}, {113, "esaskni01", 17, 23, 18},
+		{114, "esaskni01", 18, 24, 19},
+	}
+	pidIdx := batting.Schema.MustIndexOf("playerID")
+	hrIdx := batting.Schema.MustIndexOf("HR")
+	dblIdx := batting.Schema.MustIndexOf("doubles")
+	tplIdx := batting.Schema.MustIndexOf("triples")
+	used := map[int]int{}
+	for _, p := range plants {
+		row := tyRowStart[p.ty] + used[p.ty]
+		used[p.ty]++
+		batting.Tuples[row][pidIdx] = relation.Str(p.pid)
+		batting.Tuples[row][hrIdx] = relation.Int(int64(p.hr))
+		batting.Tuples[row][dblIdx] = relation.Int(int64(p.dbl))
+		batting.Tuples[row][tplIdx] = relation.Int(int64(p.tpl))
+	}
+
+	d := db.New()
+	d.MustAddTable(manager)
+	d.MustAddTable(team)
+	d.MustAddTable(batting)
+	d.AddPrimaryKey(BBTeam, "teamID", "year")
+	d.AddForeignKey(BBManager, []string{"teamID", "year"}, BBTeam, []string{"teamID", "year"})
+	d.AddForeignKey(BBBatting, []string{"teamID", "year"}, BBTeam, []string{"teamID", "year"})
+
+	b := &Baseball{
+		DB: d, TeamYears: bbTeams * bbYears,
+		CoveredSingle: 150, CoveredDouble: 25, ExpectedJoinedSize: 8810,
+	}
+	b.Q3 = bbQ3()
+	b.Q4 = bbQ4()
+	b.Q5 = bbQ5()
+	b.Q6 = bbQ6()
+	return b
+}
+
+// bbQ3 is the paper's Q3: managers of CIN between 1983 and 1987 (5 tuples).
+func bbQ3() *algebra.Query {
+	return &algebra.Query{
+		Name:       "Q3",
+		Tables:     []string{BBManager, BBTeam},
+		Projection: []string{"Manager.managerID", "Manager.year", "Team.R"},
+		Pred: algebra.Predicate{algebra.Conjunct{
+			algebra.NewTerm("Team.teamID", algebra.OpEQ, relation.Str("CIN")),
+			algebra.NewTerm("Team.year", algebra.OpGT, relation.Int(1982)),
+			algebra.NewTerm("Team.year", algebra.OpLE, relation.Int(1987)),
+		}},
+	}
+}
+
+// bbQ4 is the paper's Q4: a disjunction of four playerID equalities over the
+// three-way join (14 tuples).
+func bbQ4() *algebra.Query {
+	var pred algebra.Predicate
+	for _, pid := range []string{"sotoma01", "brownto05", "pariske01", "welshch01"} {
+		pred = append(pred, algebra.Conjunct{
+			algebra.NewTerm("Batting.playerID", algebra.OpEQ, relation.Str(pid))})
+	}
+	return &algebra.Query{
+		Name:       "Q4",
+		Tables:     []string{BBManager, BBTeam, BBBatting},
+		Projection: []string{"Manager.managerID", "Manager.year", "Batting.doubles"},
+		Pred:       pred,
+	}
+}
+
+// bbQ5 is the paper's Q5: rosepe01 seasons with HR>1 and doubles≤3 (4
+// tuples).
+func bbQ5() *algebra.Query {
+	return &algebra.Query{
+		Name:       "Q5",
+		Tables:     []string{BBManager, BBTeam, BBBatting},
+		Projection: []string{"Manager.managerID", "Manager.year", "Batting.HR"},
+		Pred: algebra.Predicate{algebra.Conjunct{
+			algebra.NewTerm("Batting.playerID", algebra.OpEQ, relation.Str("rosepe01")),
+			algebra.NewTerm("Batting.HR", algebra.OpGT, relation.Int(1)),
+			algebra.NewTerm("Batting.doubles", algebra.OpLE, relation.Int(3)),
+		}},
+	}
+}
+
+// bbQ6 is the paper's Q6: esaskni01 with a disjunctive team-pitching
+// condition (4 tuples).
+func bbQ6() *algebra.Query {
+	pid := algebra.NewTerm("Batting.playerID", algebra.OpEQ, relation.Str("esaskni01"))
+	return &algebra.Query{
+		Name:       "Q6",
+		Tables:     []string{BBManager, BBTeam, BBBatting},
+		Projection: []string{"Manager.managerID", "Manager.year", "Batting.triples"},
+		Pred: algebra.Predicate{
+			algebra.Conjunct{pid, algebra.NewTerm("Team.IP", algebra.OpGT, relation.Int(4380))},
+			algebra.Conjunct{pid,
+				algebra.NewTerm("Team.IP", algebra.OpLE, relation.Int(4380)),
+				algebra.NewTerm("Team.BBA", algebra.OpLE, relation.Int(485))},
+		},
+	}
+}

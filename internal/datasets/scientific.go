@@ -1,0 +1,209 @@
+// Package datasets provides deterministic synthetic equivalents of the
+// paper's evaluation datasets (§7.1, §7.7). The real data (a SQLShare
+// biology database, the Lahman baseball archive, the 1994 Census Adult
+// table) is not redistributable here, so each generator reproduces the
+// *shape* the algorithms see: table arities and cardinalities, foreign-key
+// join cardinalities, attribute types and the result cardinalities of the
+// paper's queries Q1–Q6 (1, 6, 5, 14, 4 and 4 tuples). See DESIGN.md §2 for
+// the substitution argument.
+//
+// All generation is seeded and deterministic: two calls produce identical
+// databases.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/relation"
+)
+
+// Scientific mirrors the SQLShare biology database: PmTE_ALL_DE
+// (3926 rows × 16 columns) holding differential-expression statistics under
+// four nutrient conditions (Fe, P, Si, Urea), and Psemu1FL_RT (424 rows × 3
+// columns) referencing it through a soft foreign key; their join has 417
+// tuples (7 reference rows carry NULL gene ids, mirroring the dangling rows
+// of the original data). Q1 and Q2 are the two actual biologist queries,
+// with result cardinalities 1 and 6.
+type Scientific struct {
+	DB     *db.Database
+	Q1, Q2 *algebra.Query
+}
+
+// Scientific table and column names (abbreviated from the originals).
+const (
+	SciMainTable = "PmTE_ALL_DE"
+	SciRefTable  = "Psemu1FL_RT"
+)
+
+// NewScientific generates the dataset.
+func NewScientific() *Scientific {
+	rng := rand.New(rand.NewSource(20150901)) // deterministic
+
+	main := relation.New(SciMainTable, relation.NewSchema(
+		"gene_id", relation.KindString,
+		"logFC_Fe", relation.KindFloat,
+		"logFC_P", relation.KindFloat,
+		"logFC_Si", relation.KindFloat,
+		"logFC_Urea", relation.KindFloat,
+		"PValue_Fe", relation.KindFloat,
+		"PValue_P", relation.KindFloat,
+		"PValue_Si", relation.KindFloat,
+		"PValue_Urea", relation.KindFloat,
+		"logCPM", relation.KindFloat,
+		"LR_Fe", relation.KindFloat,
+		"LR_P", relation.KindFloat,
+		"FDR", relation.KindFloat,
+		"cluster", relation.KindInt,
+		"contig", relation.KindString,
+		"strand", relation.KindString,
+	))
+
+	// Background rows: logFC_P/Si/Urea stay in (−0.95, 0.95) so they satisfy
+	// neither Q1 (needs < −1) nor Q2 (needs > 1). logFC_Fe roams wider.
+	const nMain = 3926
+	for i := 0; i < nMain; i++ {
+		main.Append(sciRow(rng, i, 0))
+	}
+
+	// Planted rows: referenced gene indexes [0,417) are the ones that join;
+	// plant Q1's single satisfier and Q2's six satisfiers among them.
+	plant := func(geneIdx int, profile int) {
+		main.Tuples[geneIdx] = sciRow(rng, geneIdx, profile)
+	}
+	plant(41, 1) // Q1: |logFC_Fe| < 0.5, others < −1, one PValue < 0.05
+	for _, gi := range []int{7, 83, 145, 220, 301, 399} {
+		plant(gi, 2) // Q2: logFC_Fe < 1, P/Si/Urea > 1, one PValue < 0.05
+	}
+
+	ref := relation.New(SciRefTable, relation.NewSchema(
+		"gene_id", relation.KindString,
+		"rt_value", relation.KindFloat,
+		"spgp", relation.KindString,
+	))
+	// 417 rows referencing the first 417 genes, 7 dangling rows with NULL
+	// gene ids (soft foreign key; they drop out of the join).
+	for i := 0; i < 417; i++ {
+		ref.Append(relation.NewTuple(geneID(i), round3(rng.Float64()*30), fmt.Sprintf("sp%02d", rng.Intn(12))))
+	}
+	for i := 0; i < 7; i++ {
+		ref.Append(relation.Tuple{relation.Null(),
+			relation.Float(round3(rng.Float64() * 30)), relation.Str(fmt.Sprintf("sp%02d", rng.Intn(12)))})
+	}
+
+	d := db.New()
+	d.MustAddTable(main)
+	d.MustAddTable(ref)
+	d.AddPrimaryKey(SciMainTable, "gene_id")
+	d.AddForeignKey(SciRefTable, []string{"gene_id"}, SciMainTable, []string{"gene_id"})
+
+	s := &Scientific{DB: d}
+	s.Q1 = sciQ1()
+	s.Q2 = sciQ2()
+	return s
+}
+
+// sciRow synthesizes one gene row. profile 0 = background, 1 = Q1
+// satisfier, 2 = Q2 satisfier.
+func sciRow(rng *rand.Rand, idx, profile int) relation.Tuple {
+	bg := func(span float64) float64 { return round3((rng.Float64()*2 - 1) * span) }
+	logFe := bg(2.5)
+	logP, logSi, logUrea := bg(0.9), bg(0.9), bg(0.9)
+	pFe, pP := round3(0.05+rng.Float64()*0.9), round3(0.05+rng.Float64()*0.9)
+	pSi, pUrea := round3(0.05+rng.Float64()*0.9), round3(0.05+rng.Float64()*0.9)
+	switch profile {
+	case 1:
+		logFe = round3(rng.Float64()*0.8 - 0.4)  // |logFC_Fe| < 0.5
+		logP = round3(-1.2 - rng.Float64()*0.8)  // < −1
+		logSi = round3(-1.1 - rng.Float64()*0.8) // < −1
+		logUrea = round3(-1.3 - rng.Float64())   // < −1
+		pFe = round3(0.001 + rng.Float64()*0.04) // < 0.05
+	case 2:
+		logFe = round3(rng.Float64()*1.6 - 0.8) // < 1
+		logP = round3(1.1 + rng.Float64()*0.9)  // > 1
+		logSi = round3(1.2 + rng.Float64())     // > 1
+		logUrea = round3(1.05 + rng.Float64())  // > 1
+		pP = round3(0.001 + rng.Float64()*0.04) // < 0.05
+	}
+	return relation.NewTuple(
+		geneID(idx), logFe, logP, logSi, logUrea, pFe, pP, pSi, pUrea,
+		round3(rng.Float64()*12),  // logCPM
+		round3(rng.Float64()*200), // LR_Fe
+		round3(rng.Float64()*200), // LR_P
+		round3(rng.Float64()),     // FDR
+		rng.Intn(20),              // cluster
+		fmt.Sprintf("ctg%04d", rng.Intn(500)),
+		[]string{"+", "-"}[rng.Intn(2)],
+	)
+}
+
+func geneID(i int) string { return fmt.Sprintf("Pm%05d", i) }
+
+func round3(f float64) float64 { return float64(int(f*1000)) / 1000 }
+
+// sciQ1 is the paper's Q1: a SELECT * over the join with conjunctive logFC
+// bounds and a disjunction of PValue thresholds; |Q1(D)| = 1.
+func sciQ1() *algebra.Query {
+	m := SciMainTable
+	conj := algebra.Conjunct{
+		algebra.NewTerm(m+".logFC_Fe", algebra.OpLT, relation.Float(0.5)),
+		algebra.NewTerm(m+".logFC_Fe", algebra.OpGT, relation.Float(-0.5)),
+		algebra.NewTerm(m+".logFC_P", algebra.OpLT, relation.Float(-1)),
+		algebra.NewTerm(m+".logFC_Si", algebra.OpLT, relation.Float(-1)),
+		algebra.NewTerm(m+".logFC_Urea", algebra.OpLT, relation.Float(-1)),
+	}
+	var pred algebra.Predicate
+	for _, pv := range []string{"PValue_Fe", "PValue_P", "PValue_Si", "PValue_Urea"} {
+		c := append(algebra.Conjunct{}, conj...)
+		c = append(c, algebra.NewTerm(m+"."+pv, algebra.OpLT, relation.Float(0.05)))
+		pred = append(pred, c)
+	}
+	return &algebra.Query{
+		Name:       "Q1",
+		Tables:     []string{SciMainTable, SciRefTable},
+		Projection: sciStarProjection(),
+		Pred:       pred,
+	}
+}
+
+// sciQ2 is the paper's Q2; |Q2(D)| = 6.
+func sciQ2() *algebra.Query {
+	m := SciMainTable
+	conj := algebra.Conjunct{
+		algebra.NewTerm(m+".logFC_Fe", algebra.OpLT, relation.Float(1)),
+		algebra.NewTerm(m+".logFC_P", algebra.OpGT, relation.Float(1)),
+		algebra.NewTerm(m+".logFC_Si", algebra.OpGT, relation.Float(1)),
+		algebra.NewTerm(m+".logFC_Urea", algebra.OpGT, relation.Float(1)),
+	}
+	var pred algebra.Predicate
+	for _, pv := range []string{"PValue_Fe", "PValue_P", "PValue_Si", "PValue_Urea"} {
+		c := append(algebra.Conjunct{}, conj...)
+		c = append(c, algebra.NewTerm(m+"."+pv, algebra.OpLT, relation.Float(0.05)))
+		pred = append(pred, c)
+	}
+	return &algebra.Query{
+		Name:       "Q2",
+		Tables:     []string{SciMainTable, SciRefTable},
+		Projection: sciStarProjection(),
+		Pred:       pred,
+	}
+}
+
+// sciStarProjection lists every joined column (the π* of the paper's Q1/Q2).
+func sciStarProjection() []string {
+	cols := []string{
+		"gene_id", "logFC_Fe", "logFC_P", "logFC_Si", "logFC_Urea",
+		"PValue_Fe", "PValue_P", "PValue_Si", "PValue_Urea",
+		"logCPM", "LR_Fe", "LR_P", "FDR", "cluster", "contig", "strand",
+	}
+	var out []string
+	for _, c := range cols {
+		out = append(out, SciMainTable+"."+c)
+	}
+	for _, c := range []string{"gene_id", "rt_value", "spgp"} {
+		out = append(out, SciRefTable+"."+c)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package db
+
+import (
+	"sort"
+
+	"qfe/internal/relation"
+)
+
+// InferForeignKeys discovers soft foreign-key constraints by mining unary
+// inclusion dependencies, the technique the paper's footnote 3 points at
+// ("if foreign-key constraints are not explicitly provided ... we can infer
+// soft foreign-key constraints by applying known techniques [16]" — de
+// Marchi et al., EDBT 2002). A candidate child.c → parent.p is reported
+// when
+//
+//   - parent.p's values are unique (it behaves like a key),
+//   - every non-NULL child.c value occurs in parent.p,
+//   - the columns' kinds match, and
+//   - the pair is not trivially the same column.
+//
+// Among multiple parents for the same child column, the smaller parent
+// table wins (the conventional dimension-table heuristic). The result is
+// deterministic: candidates are ordered by child table, child column,
+// parent table.
+func InferForeignKeys(d *Database) []ForeignKey {
+	type colInfo struct {
+		table  string
+		name   string
+		kind   relation.Kind
+		values map[string]bool
+		unique bool
+		rows   int
+	}
+	var cols []colInfo
+	for _, t := range d.Tables() {
+		for ci, c := range t.Schema {
+			info := colInfo{table: t.Name, name: c.Name, kind: c.Type,
+				values: make(map[string]bool, t.Len()), unique: true, rows: t.Len()}
+			for _, tup := range t.Tuples {
+				v := tup[ci]
+				if v.IsNull() {
+					continue
+				}
+				k := v.Key()
+				if info.values[k] {
+					info.unique = false
+				}
+				info.values[k] = true
+			}
+			cols = append(cols, info)
+		}
+	}
+
+	var out []ForeignKey
+	for _, child := range cols {
+		if len(child.values) == 0 {
+			continue
+		}
+		var best *colInfo
+		for i := range cols {
+			parent := &cols[i]
+			if parent.table == child.table || !parent.unique || parent.kind != child.kind {
+				continue
+			}
+			if len(child.values) > len(parent.values) {
+				continue
+			}
+			contained := true
+			for k := range child.values {
+				if !parent.values[k] {
+					contained = false
+					break
+				}
+			}
+			if !contained {
+				continue
+			}
+			if best == nil || parent.rows < best.rows ||
+				(parent.rows == best.rows && parent.table < best.table) {
+				best = parent
+			}
+		}
+		if best != nil {
+			out = append(out, ForeignKey{
+				ChildTable: child.table, ChildColumns: []string{child.name},
+				ParentTable: best.table, ParentColumns: []string{best.name},
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ChildTable != out[j].ChildTable {
+			return out[i].ChildTable < out[j].ChildTable
+		}
+		if out[i].ChildColumns[0] != out[j].ChildColumns[0] {
+			return out[i].ChildColumns[0] < out[j].ChildColumns[0]
+		}
+		return out[i].ParentTable < out[j].ParentTable
+	})
+	return out
+}

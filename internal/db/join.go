@@ -1,0 +1,230 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+
+	"qfe/internal/relation"
+)
+
+// ColRef locates a column of a joined relation in its source base table.
+type ColRef struct {
+	Table    string // base table name
+	Column   string // unqualified column name
+	TableIdx int    // index into Joined.Tables
+	ColIdx   int    // column index inside the base table
+}
+
+// Joined is the foreign-key join of a set of base tables, together with the
+// provenance of every joined tuple. Provenance is the paper's "join index"
+// (§5.4.1): it lets the database generator find every joined tuple affected
+// by a single base-tuple modification (the "side effects").
+type Joined struct {
+	// Rel holds the joined tuples under a qualified schema ("Table.col").
+	Rel *relation.Relation
+	// Tables lists the joined base tables in join order.
+	Tables []string
+	// Prov[i][j] is the row index in base table Tables[j] that contributed
+	// to joined tuple i.
+	Prov [][]int
+	// Cols maps each joined column (by position) to its source.
+	Cols []ColRef
+
+	// fromBase[table][row] lists joined-tuple indexes that include that base
+	// row; rows joining nothing are absent.
+	fromBase map[string]map[int][]int
+}
+
+// tableIndex returns the position of a table in the join order, or -1.
+func (j *Joined) tableIndex(name string) int {
+	for i, t := range j.Tables {
+		if t == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColRefOf resolves a qualified column name ("Table.col") of the joined
+// schema to its source location.
+func (j *Joined) ColRefOf(qualified string) (ColRef, error) {
+	i := j.Rel.Schema.IndexOf(qualified)
+	if i < 0 {
+		return ColRef{}, fmt.Errorf("db: joined relation has no column %q", qualified)
+	}
+	return j.Cols[i], nil
+}
+
+// TuplesFromBase returns the indexes of joined tuples that contain the given
+// base row. The returned slice is shared; do not mutate.
+func (j *Joined) TuplesFromBase(table string, row int) []int {
+	m := j.fromBase[table]
+	if m == nil {
+		return nil
+	}
+	return m[row]
+}
+
+// FanOut returns the number of joined tuples containing the base row; a
+// fan-out of 1 means a modification has no side effects beyond its own
+// joined tuple (§5.4.1: such modifications are preferred).
+func (j *Joined) FanOut(table string, row int) int {
+	return len(j.TuplesFromBase(table, row))
+}
+
+// Join computes the foreign-key join of the named tables (in any connected
+// order). All FK edges between two joined tables contribute equality
+// conditions. Dangling tuples are dropped (inner join), matching the paper's
+// experimental setup (e.g. the 424-row table joining to 417 tuples).
+func Join(d *Database, tables []string) (*Joined, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("db: join of zero tables")
+	}
+	for _, n := range tables {
+		if d.Table(n) == nil {
+			return nil, fmt.Errorf("db: join: no such table %q", n)
+		}
+	}
+
+	j := &Joined{fromBase: make(map[string]map[int][]int)}
+
+	// Seed with the first table.
+	first := d.Table(tables[0])
+	j.Tables = []string{first.Name}
+	j.Rel = relation.New(joinName(tables), first.Schema.Qualify(first.Name))
+	for ci, c := range first.Schema {
+		j.Cols = append(j.Cols, ColRef{Table: first.Name, Column: c.Name, TableIdx: 0, ColIdx: ci})
+	}
+	j.Rel.Tuples = make([]relation.Tuple, first.Len())
+	j.Prov = make([][]int, first.Len())
+	for i, t := range first.Tuples {
+		j.Rel.Tuples[i] = t.Clone()
+		j.Prov[i] = []int{i}
+	}
+
+	remaining := append([]string(nil), tables[1:]...)
+	for len(remaining) > 0 {
+		progressed := false
+		for ri, name := range remaining {
+			conds := joinConditions(d, j, name)
+			if len(conds) == 0 {
+				continue
+			}
+			if err := j.foldIn(d.Table(name), conds); err != nil {
+				return nil, err
+			}
+			remaining = append(remaining[:ri], remaining[ri+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("db: join: tables %v not connected to %v by any foreign key",
+				remaining, j.Tables)
+		}
+	}
+	j.buildReverseIndex()
+	return j, nil
+}
+
+// JoinAll joins every table of the database (the §5 assumption that all
+// candidate queries share the full join schema).
+func JoinAll(d *Database) (*Joined, error) { return Join(d, d.TableNames()) }
+
+// joinCondition equates a column of the current joined relation with a
+// column of the incoming table.
+type joinCondition struct {
+	joinedCol int // index into j.Rel.Schema
+	newCol    int // index into the incoming table's schema
+}
+
+// joinConditions collects the equality conditions implied by every FK edge
+// between the already-joined tables and the incoming table.
+func joinConditions(d *Database, j *Joined, incoming string) []joinCondition {
+	var conds []joinCondition
+	add := func(joinedTable string, joinedCols []string, newCols []string, newTable *relation.Relation) {
+		for i := range joinedCols {
+			qc := joinedTable + "." + joinedCols[i]
+			ji := j.Rel.Schema.IndexOf(qc)
+			ni := newTable.Schema.IndexOf(newCols[i])
+			if ji >= 0 && ni >= 0 {
+				conds = append(conds, joinCondition{joinedCol: ji, newCol: ni})
+			}
+		}
+	}
+	in := d.Table(incoming)
+	for _, fk := range d.ForeignKeys {
+		switch {
+		case fk.ChildTable == incoming && j.tableIndex(fk.ParentTable) >= 0:
+			add(fk.ParentTable, fk.ParentColumns, fk.ChildColumns, in)
+		case fk.ParentTable == incoming && j.tableIndex(fk.ChildTable) >= 0:
+			add(fk.ChildTable, fk.ChildColumns, fk.ParentColumns, in)
+		}
+	}
+	return conds
+}
+
+// foldIn hash-joins the incoming table into j under the given conditions.
+func (j *Joined) foldIn(in *relation.Relation, conds []joinCondition) error {
+	newTableIdx := len(j.Tables)
+	j.Tables = append(j.Tables, in.Name)
+
+	// Index incoming rows by their join key.
+	index := make(map[string][]int, in.Len())
+	for ri, t := range in.Tuples {
+		var b strings.Builder
+		for _, c := range conds {
+			b.WriteString(t[c.newCol].Key())
+			b.WriteByte('|')
+		}
+		k := b.String()
+		index[k] = append(index[k], ri)
+	}
+
+	newSchema := j.Rel.Schema.Concat(in.Schema.Qualify(in.Name))
+	for ci, c := range in.Schema {
+		j.Cols = append(j.Cols, ColRef{Table: in.Name, Column: c.Name, TableIdx: newTableIdx, ColIdx: ci})
+	}
+
+	var outTuples []relation.Tuple
+	var outProv [][]int
+	for ti, t := range j.Rel.Tuples {
+		var b strings.Builder
+		for _, c := range conds {
+			b.WriteString(t[c.joinedCol].Key())
+			b.WriteByte('|')
+		}
+		for _, ri := range index[b.String()] {
+			merged := make(relation.Tuple, 0, len(t)+in.Arity())
+			merged = append(merged, t...)
+			merged = append(merged, in.Tuples[ri]...)
+			prov := make([]int, len(j.Prov[ti])+1)
+			copy(prov, j.Prov[ti])
+			prov[len(prov)-1] = ri
+			outTuples = append(outTuples, merged)
+			outProv = append(outProv, prov)
+		}
+	}
+	j.Rel = &relation.Relation{Name: j.Rel.Name, Schema: newSchema, Tuples: outTuples}
+	j.Prov = outProv
+	return nil
+}
+
+func (j *Joined) buildReverseIndex() {
+	j.fromBase = make(map[string]map[int][]int, len(j.Tables))
+	for _, t := range j.Tables {
+		j.fromBase[t] = make(map[int][]int)
+	}
+	for ti, prov := range j.Prov {
+		for tbl, row := range prov {
+			name := j.Tables[tbl]
+			j.fromBase[name][row] = append(j.fromBase[name][row], ti)
+		}
+	}
+}
+
+// Rebuilt recomputes the join on a (possibly edited) database with the same
+// schema, preserving the join order. Used by tests to cross-check the
+// incremental evaluator against a from-scratch join.
+func (j *Joined) Rebuilt(d *Database) (*Joined, error) { return Join(d, j.Tables) }
+
+func joinName(tables []string) string { return strings.Join(tables, "⋈") }

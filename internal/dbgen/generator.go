@@ -1,0 +1,285 @@
+// Package dbgen implements the paper's Database Generator module (§5):
+// given the initial database D (via its foreign-key join) and the remaining
+// candidate queries QC, it produces a modified database D' that partitions
+// QC into result-distinct subsets while minimising the user-effort cost
+// model of §3.
+//
+// The module follows Algorithm 2: enumerate skyline (STC, DTC) pairs
+// (Algorithm 3, Skyline-STC-DTC-Pairs), pick a good subset of pairs
+// (Algorithm 4, Pick-STC-DTC-Subset), then concretize the chosen abstract
+// modifications into actual cell edits — preferring tuples without join
+// side effects (§5.4.1) and rejecting edits that violate integrity
+// constraints (§6.3).
+package dbgen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qfe/internal/algebra"
+	"qfe/internal/cost"
+	"qfe/internal/db"
+	"qfe/internal/editdist"
+	"qfe/internal/relation"
+	"qfe/internal/tupleclass"
+)
+
+// Budget bounds Algorithm 3's enumeration: the paper's time threshold δ
+// plus a deterministic pair-count bound used by tests (time-based budgets
+// are machine-dependent).
+type Budget struct {
+	MaxDuration time.Duration // δ; 0 means unlimited
+	MaxPairs    int           // 0 means unlimited
+}
+
+// exceeded reports whether the budget is spent.
+func (b Budget) exceeded(start time.Time, pairs int) bool {
+	if b.MaxDuration > 0 && time.Since(start) >= b.MaxDuration {
+		return true
+	}
+	if b.MaxPairs > 0 && pairs >= b.MaxPairs {
+		return true
+	}
+	return false
+}
+
+// Strategy selects how Algorithm 4 ranks candidate pair sets.
+type Strategy uint8
+
+const (
+	// StrategyCostModel is the paper's approach: minimise the Eq. 5 user-
+	// effort cost, tie-breaking by balance.
+	StrategyCostModel Strategy = iota
+	// StrategyMaxPartitions is the §7.7 user-study alternative: maximise
+	// the number of partitioned query subsets (fewer iterations, but more
+	// per-round reading effort).
+	StrategyMaxPartitions
+)
+
+// Options configures the generator.
+type Options struct {
+	Cost     cost.Params
+	Budget   Budget
+	Strategy Strategy
+	// MaxSkylinePairs caps |SP| handed to Algorithm 4 (0 = all).
+	MaxSkylinePairs int
+	// MaxFrontier caps Algorithm 4's per-level frontier |OPᵢ| as a safety
+	// valve against its O(2^|SP|) worst case (0 = unlimited).
+	MaxFrontier int
+	// MaxSetsEvaluated caps the total number of candidate sets Algorithm 4
+	// scores (0 = 50000).
+	MaxSetsEvaluated int
+	// MaxCandidateSets caps how many optimal sets Generate tries to
+	// concretize before giving up (alternatives are needed when a set's
+	// concrete side effects destroy its predicted partition).
+	MaxCandidateSets int
+}
+
+// DefaultOptions mirrors the paper's defaults: β = 1, δ = 1s scaled to our
+// engine (see DESIGN.md §2): 10ms.
+func DefaultOptions() Options {
+	return Options{
+		Cost:             cost.DefaultParams(),
+		Budget:           Budget{MaxDuration: 10 * time.Millisecond},
+		MaxFrontier:      64,
+		MaxSetsEvaluated: 50000,
+		MaxCandidateSets: 8,
+	}
+}
+
+// ErrNoSplit reports that no reachable modification distinguishes the
+// remaining candidate queries — they are equivalent over the tuple-class
+// space.
+var ErrNoSplit = errors.New("dbgen: no database modification distinguishes the remaining candidates")
+
+// Generator winnows one candidate set against one database. It is built
+// once per QFE iteration (the space depends on QC).
+type Generator struct {
+	DB      *db.Database
+	Joined  *db.Joined
+	Space   *tupleclass.Space
+	Queries []*algebra.Query
+	R       *relation.Relation
+	Opts    Options
+
+	baseResults []*relation.Relation // Q(D) per query (= R for true candidates)
+	srcClasses  []tupleclass.SourceClass
+	srcRows     map[string][]int
+}
+
+// New prepares a generator for the given database, precomputed join,
+// candidate queries and target result R.
+func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
+	r *relation.Relation, opts Options) (*Generator, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("dbgen: empty candidate set")
+	}
+	space, err := tupleclass.NewSpace(joined.Rel, queries)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{DB: d, Joined: joined, Space: space, Queries: queries, R: r, Opts: opts}
+	g.baseResults = make([]*relation.Relation, len(queries))
+	for i, q := range queries {
+		res, err := q.EvaluateOnJoined(joined.Rel)
+		if err != nil {
+			return nil, err
+		}
+		g.baseResults[i] = res
+	}
+	g.srcClasses, err = space.SourceClasses()
+	if err != nil {
+		return nil, err
+	}
+	g.srcRows = make(map[string][]int, len(g.srcClasses))
+	for _, sc := range g.srcClasses {
+		g.srcRows[sc.Key] = sc.Rows
+	}
+	return g, nil
+}
+
+// Result is the outcome of one Database-Generator invocation, carrying both
+// the modified database and the statistics the paper reports per round
+// (Table 1, Table 4, Table 7).
+type Result struct {
+	DB    *db.Database
+	Edits []db.CellEdit
+	Pairs []tupleclass.Pair // the concretized Sopt
+
+	// Partition groups query indexes by their result on DB; Results holds
+	// one representative result relation per group.
+	Partition [][]int
+	Results   []*relation.Relation
+
+	// Costs, concrete (post side effects).
+	DBCost        int // minEdit(D,D') = number of cell edits
+	NumRelations  int // n of Eq. 3
+	ResultCost    int // Σᵢ minEdit(R, Rᵢ)
+	AvgResultCost float64
+
+	// Search statistics.
+	SkylinePairs    int // |SP|
+	EnumeratedPairs int
+	X               int // Lemma 3.1's x
+	Alg3Time        time.Duration
+	Alg4Time        time.Duration
+	ConcretizeTime  time.Duration
+}
+
+// Generate runs Algorithm 2 end to end and returns a modified database that
+// concretely partitions the candidates into at least two groups, or
+// ErrNoSplit.
+func (g *Generator) Generate() (*Result, error) {
+	t0 := time.Now()
+	sp, stats := g.SkylinePairs()
+	alg3 := time.Since(t0)
+	if len(sp) == 0 {
+		// Budgeted enumeration found nothing; do an unbudgeted scan for any
+		// splitting pair before declaring equivalence.
+		sp = g.anySplittingPairs(64)
+		if len(sp) == 0 {
+			return nil, ErrNoSplit
+		}
+	}
+	if g.Opts.MaxSkylinePairs > 0 && len(sp) > g.Opts.MaxSkylinePairs {
+		sp = sp[:g.Opts.MaxSkylinePairs]
+	}
+
+	t1 := time.Now()
+	candidates := g.PickSubsets(sp, stats.X)
+	alg4 := time.Since(t1)
+
+	t2 := time.Now()
+	var lastErr error
+	for _, cand := range candidates {
+		res, err := g.concretize(cand.Pairs)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(res.Partition) < 2 {
+			lastErr = ErrNoSplit
+			continue // side effects collapsed the predicted split; try next
+		}
+		res.SkylinePairs = len(sp)
+		res.EnumeratedPairs = stats.Enumerated
+		res.X = stats.X
+		res.Alg3Time = alg3
+		res.Alg4Time = alg4
+		res.ConcretizeTime = time.Since(t2)
+		return res, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoSplit
+	}
+	return nil, fmt.Errorf("dbgen: no candidate set concretized: %w", lastErr)
+}
+
+// partitionConcrete evaluates every query incrementally against the edits
+// and groups them by result fingerprint.
+func (g *Generator) partitionConcrete(edits []db.CellEdit) ([][]int, []*relation.Relation, []int, error) {
+	modified, err := g.modifiedJoinedRows(edits)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	groups := map[string][]int{}
+	order := []string{}
+	deltas := make([]algebra.ResultDelta, len(g.Queries))
+	for qi, q := range g.Queries {
+		delta, err := q.DeltaOnJoined(g.Joined.Rel, modified)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		deltas[qi] = delta
+		fp := q.DeltaFingerprint(g.baseResults[qi], delta)
+		if _, ok := groups[fp]; !ok {
+			order = append(order, fp)
+		}
+		groups[fp] = append(groups[fp], qi)
+	}
+	parts := make([][]int, 0, len(order))
+	results := make([]*relation.Relation, 0, len(order))
+	resultCosts := make([]int, 0, len(order))
+	for _, fp := range order {
+		qs := groups[fp]
+		parts = append(parts, qs)
+		rep := qs[0]
+		ri := algebra.ApplyDelta(g.baseResults[rep], deltas[rep])
+		if g.Queries[rep].Distinct {
+			ri = ri.Distinct()
+		}
+		results = append(results, ri)
+		resultCosts = append(resultCosts, editdist.MinEdit(g.R, ri))
+	}
+	return parts, results, resultCosts, nil
+}
+
+// modifiedJoinedRows maps base-table cell edits onto the joined relation:
+// for every affected joined row it builds the post-edit tuple, including all
+// side-effect rows discovered through the join index.
+func (g *Generator) modifiedJoinedRows(edits []db.CellEdit) (map[int]relation.Tuple, error) {
+	modified := map[int]relation.Tuple{}
+	for _, e := range edits {
+		// Locate the joined column fed by this base column.
+		colIdx := -1
+		for ci, ref := range g.Joined.Cols {
+			if ref.Table == e.Table && ref.Column == e.Column {
+				colIdx = ci
+				break
+			}
+		}
+		if colIdx < 0 {
+			return nil, fmt.Errorf("dbgen: edit %s targets a column outside the join", e)
+		}
+		for _, row := range g.Joined.TuplesFromBase(e.Table, e.Row) {
+			t, ok := modified[row]
+			if !ok {
+				t = g.Joined.Rel.Tuples[row].Clone()
+			}
+			t[colIdx] = e.Value
+			modified[row] = t
+		}
+	}
+	return modified, nil
+}

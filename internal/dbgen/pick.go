@@ -1,0 +1,282 @@
+package dbgen
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qfe/internal/cost"
+	"qfe/internal/tupleclass"
+)
+
+// CandidateSet is a subset of skyline pairs evaluated by the cost model.
+type CandidateSet struct {
+	Indices []int // positions in the SP slice, ascending
+	Pairs   []tupleclass.Pair
+	Balance float64
+	Cost    float64
+	Subsets int // predicted number of partition blocks
+}
+
+// evalCtx caches, per skyline pair, everything the cost model needs so that
+// evaluating a candidate set is pure byte arithmetic: the Lemma 5.1 case
+// code per query, the replace-cost per query, the pair's edit cost and the
+// base tables it touches. Algorithm 4 evaluates thousands of sets; without
+// this cache every evaluation would re-run predicate matching.
+type evalCtx struct {
+	g      *Generator
+	sp     []ScoredPair
+	x      int
+	codes  [][]uint8 // [pair][query] case code
+	repl   [][]int   // [pair][query] modify cost when code == replace
+	edit   []int     // [pair] minEdit(s,d)
+	tables [][]string
+	nq     int
+	arityR int
+}
+
+func (g *Generator) newEvalCtx(sp []ScoredPair, x int) *evalCtx {
+	ctx := &evalCtx{g: g, sp: sp, x: x, nq: len(g.Queries), arityR: g.R.Arity()}
+	ctx.codes = make([][]uint8, len(sp))
+	ctx.repl = make([][]int, len(sp))
+	ctx.edit = make([]int, len(sp))
+	ctx.tables = make([][]string, len(sp))
+	for pi, p := range sp {
+		ctx.edit[pi] = p.Pair.EditCost
+		codes := make([]uint8, ctx.nq)
+		repl := make([]int, ctx.nq)
+		for qi := 0; qi < ctx.nq; qi++ {
+			codes[qi] = g.Space.CaseOf(p.Pair, qi)
+			repl[qi] = g.Space.ReplaceCost(p.Pair, qi)
+		}
+		ctx.codes[pi] = codes
+		ctx.repl[pi] = repl
+		tset := map[string]bool{}
+		for _, a := range p.Pair.ChangedAttrs() {
+			tset[g.Joined.Cols[g.Space.Parts[a].Col].Table] = true
+		}
+		for t := range tset {
+			ctx.tables[pi] = append(ctx.tables[pi], t)
+		}
+	}
+	return ctx
+}
+
+// evaluate scores the candidate set identified by ascending SP indices.
+func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
+	// Partition queries by their case-code vector across the set's pairs.
+	type block struct {
+		size int
+		rep  int
+	}
+	blocks := map[string]*block{}
+	keyBuf := make([]byte, len(indices))
+	for qi := 0; qi < ctx.nq; qi++ {
+		for i, pi := range indices {
+			keyBuf[i] = ctx.codes[pi][qi]
+		}
+		k := string(keyBuf)
+		b := blocks[k]
+		if b == nil {
+			blocks[k] = &block{size: 1, rep: qi}
+		} else {
+			b.size++
+		}
+	}
+	sizes := make([]int, 0, len(blocks))
+	resultEdits := make([]int, 0, len(blocks))
+	for key, b := range blocks {
+		sizes = append(sizes, b.size)
+		edit := 0
+		for i, pi := range indices {
+			switch key[i] {
+			case 1, 2: // add / remove
+				edit += ctx.arityR
+			case 3: // replace
+				edit += ctx.repl[pi][b.rep]
+			}
+		}
+		resultEdits = append(resultEdits, edit)
+	}
+	dbEdit := 0
+	tset := map[string]bool{}
+	for _, pi := range indices {
+		dbEdit += ctx.edit[pi]
+		for _, t := range ctx.tables[pi] {
+			tset[t] = true
+		}
+	}
+	in := cost.Inputs{
+		DBEdit:            dbEdit,
+		ModifiedRelations: len(tset),
+		ModifiedTuples:    len(indices),
+		ResultEdits:       resultEdits,
+		SubsetSizes:       sizes,
+		X:                 ctx.x,
+	}
+	return ctx.g.Opts.Cost.Cost(in), cost.Balance(sizes), len(sizes)
+}
+
+// PickSubsets implements Algorithm 4 (Pick-STC-DTC-Subset) and returns
+// candidate sets ranked by the configured strategy (the paper's cost model,
+// or max-partitions for the §7.7 comparison): the head is the paper's Sopt;
+// the tail provides fallbacks for when concretization of the optimum fails
+// (side effects or integrity constraints).
+//
+// The search grows i-pair sets from (i−1)-pair sets, keeping only sets whose
+// balance strictly improves on their parent — the paper's pruning heuristic.
+// MaxFrontier additionally caps each level by balance, bounding the
+// O(2^|SP|) worst case without changing behaviour on the small frontiers
+// observed in practice (paper §5.4, Table 4).
+func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
+	if len(sp) == 0 {
+		return nil
+	}
+	ctx := g.newEvalCtx(sp, x)
+	best := newTopK(g.Opts.MaxCandidateSets, g.Opts.Strategy)
+	evaluated := 0
+	maxEval := g.Opts.MaxSetsEvaluated
+	if maxEval <= 0 {
+		maxEval = 50000
+	}
+
+	// Steps 1–8: singletons.
+	type frontierEntry struct {
+		indices []int
+		balance float64
+	}
+	frontier := make([]frontierEntry, 0, len(sp))
+	for i, p := range sp {
+		if !g.feasible([]int{i}, sp) {
+			continue
+		}
+		c, b, k := ctx.evaluate([]int{i})
+		evaluated++
+		best.add(CandidateSet{Indices: []int{i}, Pairs: []tupleclass.Pair{p.Pair},
+			Balance: b, Cost: c, Subsets: k})
+		frontier = append(frontier, frontierEntry{indices: []int{i}, balance: b})
+	}
+
+	// Steps 9–21: grow sets while balance improves.
+	for level := 2; level <= len(sp) && len(frontier) > 0 && evaluated < maxEval; level++ {
+		var next []frontierEntry
+		seen := map[string]bool{}
+		for _, op := range frontier {
+			if evaluated >= maxEval {
+				break
+			}
+			inOp := map[int]bool{}
+			for _, i := range op.indices {
+				inOp[i] = true
+			}
+			for pi := range sp {
+				if inOp[pi] {
+					continue
+				}
+				indices := append(append([]int(nil), op.indices...), pi)
+				sort.Ints(indices)
+				key := indexKey(indices)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if !g.feasible(indices, sp) {
+					continue
+				}
+				c, b, k := ctx.evaluate(indices)
+				evaluated++
+				if b < op.balance { // strict improvement required (step 15)
+					next = append(next, frontierEntry{indices: indices, balance: b})
+					best.add(CandidateSet{Indices: indices, Pairs: pairsAt(sp, indices),
+						Balance: b, Cost: c, Subsets: k})
+				}
+				if evaluated >= maxEval {
+					break
+				}
+			}
+		}
+		if g.Opts.MaxFrontier > 0 && len(next) > g.Opts.MaxFrontier {
+			sort.SliceStable(next, func(a, b int) bool { return next[a].balance < next[b].balance })
+			next = next[:g.Opts.MaxFrontier]
+		}
+		frontier = next
+	}
+	return best.ranked()
+}
+
+// feasible checks that the multiset of source classes demanded by the set
+// does not exceed the tuples available in each class.
+func (g *Generator) feasible(indices []int, sp []ScoredPair) bool {
+	need := map[string]int{}
+	for _, i := range indices {
+		need[sp[i].Pair.Src.Key()]++
+	}
+	for k, n := range need {
+		if len(g.srcRows[k]) < n {
+			return false
+		}
+	}
+	return true
+}
+
+func pairsAt(sp []ScoredPair, indices []int) []tupleclass.Pair {
+	out := make([]tupleclass.Pair, len(indices))
+	for i, idx := range indices {
+		out[i] = sp[idx].Pair
+	}
+	return out
+}
+
+func indexKey(indices []int) string {
+	var b strings.Builder
+	for i, v := range indices {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// topK keeps the k best candidate sets under the configured strategy:
+// cost model (cost, balance, size) or max-partitions (subsets desc, cost).
+type topK struct {
+	k        int
+	strategy Strategy
+	sets     []CandidateSet
+}
+
+func newTopK(k int, s Strategy) *topK {
+	if k <= 0 {
+		k = 8
+	}
+	return &topK{k: k, strategy: s}
+}
+
+func (t *topK) add(c CandidateSet) {
+	if math.IsInf(c.Cost, 1) {
+		return // never consider non-splitting sets
+	}
+	t.sets = append(t.sets, c)
+	sort.SliceStable(t.sets, func(a, b int) bool {
+		x, y := t.sets[a], t.sets[b]
+		if t.strategy == StrategyMaxPartitions {
+			if x.Subsets != y.Subsets {
+				return x.Subsets > y.Subsets
+			}
+		}
+		if x.Cost != y.Cost {
+			return x.Cost < y.Cost
+		}
+		if x.Balance != y.Balance {
+			return x.Balance < y.Balance
+		}
+		return len(x.Indices) < len(y.Indices)
+	})
+	if len(t.sets) > t.k {
+		t.sets = t.sets[:t.k]
+	}
+}
+
+func (t *topK) ranked() []CandidateSet { return t.sets }

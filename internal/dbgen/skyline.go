@@ -1,0 +1,140 @@
+package dbgen
+
+import (
+	"math"
+	"time"
+
+	"qfe/internal/cost"
+	"qfe/internal/tupleclass"
+)
+
+// ScoredPair is an (STC, DTC) pair with its single-pair partition statistics
+// cached for Algorithm 4.
+type ScoredPair struct {
+	Pair    tupleclass.Pair
+	Balance float64
+	Sizes   []int
+}
+
+// SkylineStats reports Algorithm 3's enumeration effort and the Lemma 3.1
+// quantity x extracted along the way.
+type SkylineStats struct {
+	Enumerated int
+	X          int
+	Truncated  bool // budget exhausted before the full space was covered
+}
+
+// SkylinePairs implements Algorithm 3 (Skyline-STC-DTC-Pairs): it enumerates
+// (STC, DTC) pairs in non-descending edit cost (i = 1..n changed
+// attributes), keeping for each level the pairs whose single-pair balance
+// score matches the best seen so far. Enumeration stops when the δ budget is
+// exhausted, returning the skyline discovered so far (the paper's behaviour
+// under the time threshold).
+//
+// The most balanced *binary* partitioning observed supplies x (Lemma 3.1)
+// for the iteration-count estimate used by Algorithm 4's cost evaluations.
+func (g *Generator) SkylinePairs() ([]ScoredPair, SkylineStats) {
+	start := time.Now()
+	var (
+		sp         []ScoredPair
+		minBalance = math.Inf(1)
+		stats      SkylineStats
+		bestBinary = math.Inf(1)
+	)
+	n := g.Space.NumPredicateAttrs()
+	for i := 1; i <= n; i++ {
+		var spi []ScoredPair
+		done := false
+		for _, sc := range g.srcClasses {
+			g.Space.EnumerateClassesAt(sc.Class, i, func(dst tupleclass.Class) bool {
+				stats.Enumerated++
+				p := tupleclass.NewPair(sc.Class, dst)
+				sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
+				b := cost.Balance(sizes)
+				if len(sizes) == 2 {
+					bb := b
+					if bb < bestBinary {
+						bestBinary = bb
+						x := sizes[0]
+						if sizes[1] < x {
+							x = sizes[1]
+						}
+						stats.X = x
+					}
+				}
+				switch {
+				case b < minBalance:
+					minBalance = b
+					spi = []ScoredPair{{Pair: p, Balance: b, Sizes: sizes}}
+				case b == minBalance && !math.IsInf(b, 1):
+					spi = append(spi, ScoredPair{Pair: p, Balance: b, Sizes: sizes})
+				}
+				if g.Opts.Budget.exceeded(start, stats.Enumerated) {
+					done = true
+					return false
+				}
+				return true
+			})
+			if done {
+				break
+			}
+		}
+		sp = append(sp, spi...)
+		if done {
+			stats.Truncated = true
+			break
+		}
+	}
+	return sp, stats
+}
+
+// anySplittingPairs scans the pair space without a budget and returns up to
+// max pairs with a finite balance (i.e. that split QC at all). It is the
+// fallback when the budgeted skyline comes back empty.
+func (g *Generator) anySplittingPairs(max int) []ScoredPair {
+	var out []ScoredPair
+	n := g.Space.NumPredicateAttrs()
+	for i := 1; i <= n && len(out) < max; i++ {
+		for _, sc := range g.srcClasses {
+			if len(out) >= max {
+				break
+			}
+			g.Space.EnumerateClassesAt(sc.Class, i, func(dst tupleclass.Class) bool {
+				p := tupleclass.NewPair(sc.Class, dst)
+				sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
+				b := cost.Balance(sizes)
+				if !math.IsInf(b, 1) {
+					out = append(out, ScoredPair{Pair: p, Balance: b, Sizes: sizes})
+				}
+				return len(out) < max
+			})
+		}
+	}
+	return out
+}
+
+// EnumerateScoredPairs collects up to maxPairs splitting pairs regardless of
+// skyline membership, in deterministic order. It exists for the |SP|
+// scalability experiment (paper Table 5), which feeds Algorithm 4 with
+// artificially enlarged skyline sets.
+func (g *Generator) EnumerateScoredPairs(maxPairs int) []ScoredPair {
+	var out []ScoredPair
+	n := g.Space.NumPredicateAttrs()
+	for i := 1; i <= n; i++ {
+		for _, sc := range g.srcClasses {
+			g.Space.EnumerateClassesAt(sc.Class, i, func(dst tupleclass.Class) bool {
+				p := tupleclass.NewPair(sc.Class, dst)
+				sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
+				b := cost.Balance(sizes)
+				if !math.IsInf(b, 1) {
+					out = append(out, ScoredPair{Pair: p, Balance: b, Sizes: sizes})
+				}
+				return maxPairs <= 0 || len(out) < maxPairs
+			})
+			if maxPairs > 0 && len(out) >= maxPairs {
+				return out
+			}
+		}
+	}
+	return out
+}

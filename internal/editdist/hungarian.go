@@ -1,0 +1,85 @@
+// Package editdist computes the paper's minEdit(T, T′) distance between two
+// relation instances (§3): the minimum total cost of transforming T into T′
+// using (E1) attribute modifications at cost 1, (E2) tuple insertions at cost
+// arity, and (E3) tuple deletions at cost arity.
+//
+// The minimum over all edit sequences reduces to an assignment problem:
+// match tuples of T to tuples of T′ where matching costs the number of
+// differing attributes, and unmatched tuples pay the insert/delete cost. The
+// package solves it exactly with the O(n³) Hungarian algorithm after
+// removing the common multiset of tuples (which always match at cost 0).
+package editdist
+
+import "math"
+
+// hungarian solves the square assignment problem for the given cost matrix
+// and returns, for each row, the assigned column, plus the total cost. It is
+// the classic potentials-and-augmenting-paths formulation (Jonker/Volgenant
+// style), O(n³).
+func hungarian(cost [][]int) ([]int, int) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	const inf = math.MaxInt / 4
+	// Potentials for rows (u) and columns (v); way[j] remembers the column
+	// preceding j on the shortest augmenting path; p[j] is the row matched
+	// to column j. Index 0 is a sentinel.
+	u := make([]int, n+1)
+	v := make([]int, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], inf, 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	total := 0
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return assign, total
+}

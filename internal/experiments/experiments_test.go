@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qfe/internal/feedback"
+)
+
+func TestTextTableRendering(t *testing.T) {
+	tt := &TextTable{
+		Title:  "demo",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}, {"bbb", "22"}},
+	}
+	s := tt.String()
+	for _, want := range []string{"demo", "col", "bbb", "22", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScientificScenario(t *testing.T) {
+	sc, err := ScientificScenario("Q2", 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.R.Len() != 6 {
+		t.Errorf("|R| = %d, want 6", sc.R.Len())
+	}
+	if len(sc.QC) == 0 || len(sc.QC) > 19 {
+		t.Errorf("|QC| = %d, want 1..19", len(sc.QC))
+	}
+	if _, err := ScientificScenario("Q9", 19); err == nil {
+		t.Error("unknown query should fail")
+	}
+}
+
+func TestBaseballScenario(t *testing.T) {
+	sc, err := BaseballScenario("Q3", 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.R.Len() != 5 {
+		t.Errorf("|R| = %d, want 5", sc.R.Len())
+	}
+	if _, err := BaseballScenario("Q9", 19); err == nil {
+		t.Error("unknown query should fail")
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tab, err := Table1("Q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: several iterations, every row filled, |QC| column one
+	// shrinks monotonically.
+	if len(tab.Header) < 3 {
+		t.Fatalf("expected ≥2 iterations, header %v", tab.Header)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("expected 7 stat rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for i, cell := range row {
+			if cell == "" {
+				t.Errorf("row %s has empty cell %d", row[0], i)
+			}
+		}
+	}
+}
+
+func TestUserStudyDirectionMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	_, results, err := UserStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 18 { // 3 users × 3 targets × 2 strategies
+		t.Fatalf("results = %d, want 18", len(results))
+	}
+	totals := map[string]float64{}
+	for _, r := range results {
+		if !r.Found {
+			t.Errorf("%s/%s/%s did not identify the target", r.User, r.Target, r.Strategy)
+		}
+		totals[r.Strategy] += r.UserTime + r.ExecTime
+	}
+	// Paper: the max-partitions alternative costs more total time (QFE up
+	// to 1.5× faster).
+	if totals["QFE-cost-model"] >= totals["max-partitions"] {
+		t.Errorf("cost model should beat max-partitions: %v", totals)
+	}
+}
+
+func TestInitialPairSizeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tab, err := InitialPairSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 datasets, got %d", len(tab.Rows))
+	}
+	// Monotone |R| growth (the Q(Di) ⊆ Q(Di+1) requirement).
+	prev := -1
+	for _, row := range tab.Rows {
+		var n int
+		if _, err := fmtSscan(row[2], &n); err != nil {
+			t.Fatalf("bad |R| cell %q", row[2])
+		}
+		if n < prev {
+			t.Errorf("|R| not monotone: %v", tab.Rows)
+		}
+		prev = n
+	}
+}
+
+// fmtSscan is a tiny indirection so the test reads naturally.
+func fmtSscan(s string, n *int) (int, error) {
+	return sscan(s, n)
+}
+
+func sscan(s string, n *int) (int, error) {
+	v := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errBadInt
+		}
+		v = v*10 + int(c-'0')
+	}
+	*n = v
+	return 1, nil
+}
+
+var errBadInt = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "not an int" }
+
+func TestScenarioRunWithTargetOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	sc, err := ScientificScenario("Q2", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Run(sessionConfig(), feedback.Target{Query: sc.Target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found {
+		t.Error("target-following feedback should converge")
+	}
+}

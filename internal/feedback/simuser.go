@@ -1,0 +1,54 @@
+package feedback
+
+import (
+	"time"
+
+	"qfe/internal/editdist"
+)
+
+// SimulatedUser models a human participant for the §7.7 user study: it
+// follows the target query (perfect accuracy, as all three participants
+// succeeded) but charges simulated response time proportional to the amount
+// of new information in the round — the database changes shown plus the
+// result deltas the user must read to decide.
+//
+// The defaults are calibrated to the paper's observations: responses ranged
+// from 2 s to 85 s and user time dominated (~92.4% of the total), so the
+// per-cell cost is a few seconds.
+type SimulatedUser struct {
+	Target Target
+	// BaseSeconds is charged every round (orienting, reading the prompt).
+	BaseSeconds float64
+	// PerDBCellSeconds is charged per modified database cell shown.
+	PerDBCellSeconds float64
+	// PerResultCellSeconds is charged per result-delta edit unit across all
+	// presented results.
+	PerResultCellSeconds float64
+
+	// Responded accumulates the simulated response time.
+	Responded time.Duration
+	// Rounds counts feedback rounds answered.
+	Rounds int
+}
+
+// NewSimulatedUser returns a participant with the calibrated defaults.
+func NewSimulatedUser(t Target) *SimulatedUser {
+	return &SimulatedUser{
+		Target:               t,
+		BaseSeconds:          2.0,
+		PerDBCellSeconds:     3.0,
+		PerResultCellSeconds: 1.5,
+	}
+}
+
+// Choose implements Oracle: it answers like Target while accounting the
+// simulated reading/deciding time.
+func (u *SimulatedUser) Choose(v View) (int, bool, error) {
+	effort := u.BaseSeconds + u.PerDBCellSeconds*float64(len(v.Edits))
+	for _, r := range v.Results {
+		effort += u.PerResultCellSeconds * float64(editdist.MinEdit(v.BaseR, r))
+	}
+	u.Responded += time.Duration(effort * float64(time.Second))
+	u.Rounds++
+	return u.Target.Choose(v)
+}

@@ -1,0 +1,641 @@
+package qbo
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/relation"
+)
+
+// rowClass classifies the joined tuples against R for one projection
+// mapping: required rows must be selected (their projected value's full
+// multiplicity is needed), excluded rows must not be, and optional rows may
+// go either way (their projected value has surplus multiplicity in the
+// join). Final verification resolves the optional rows.
+type rowClass struct {
+	required []int
+	excluded []int
+	optional []int
+	feasible bool
+}
+
+func classifyRows(j *db.Joined, proj []string, r *relation.Relation) rowClass {
+	idx := make([]int, len(proj))
+	for i, p := range proj {
+		idx[i] = j.Rel.Schema.MustIndexOf(p)
+	}
+	need := r.Counts()
+	have := map[string]int{}
+	for _, t := range j.Rel.Tuples {
+		have[t.Project(idx).Key()]++
+	}
+	for k, n := range need {
+		if have[k] < n {
+			return rowClass{feasible: false}
+		}
+	}
+	var rc rowClass
+	rc.feasible = true
+	for ri, t := range j.Rel.Tuples {
+		k := t.Project(idx).Key()
+		n := need[k]
+		switch {
+		case n == 0:
+			rc.excluded = append(rc.excluded, ri)
+		case n == have[k]:
+			rc.required = append(rc.required, ri)
+		default:
+			rc.optional = append(rc.optional, ri)
+		}
+	}
+	return rc
+}
+
+// generateForJoin synthesizes predicates for one (join, projection) pair.
+func (g *generator) generateForJoin(j *db.Joined, tables []string, proj []string) {
+	rc := classifyRows(j, proj, g.r)
+	if !rc.feasible {
+		return
+	}
+	// No exclusions needed: projection alone may already work.
+	if len(rc.excluded) == 0 {
+		g.emit(j, tables, proj, algebra.True())
+	}
+	if len(rc.required) == 0 {
+		// Every result tuple has surplus multiplicity in the join, so no
+		// row is individually forced. Anchor the covering-term machinery on
+		// a greedy system of distinct rows realising R; the exact-bag
+		// verification in emit keeps this safe.
+		rc.required = greedyAnchors(j, proj, g.r, rc.optional)
+		if len(rc.required) == 0 {
+			return
+		}
+	}
+
+	vrf := g.newVerifier(j, tables, proj, rc)
+	pools := g.coveringTermPools(j, rc.required)
+	attrs := make([]string, 0, len(pools))
+	for a := range pools {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+
+	// Single-attribute conjuncts (including two-term ranges).
+	// Precompute, per single term, the bitmap of excluded rows the term
+	// still admits; a conjunct separates exactly when the intersection of
+	// its units' bitmaps is empty. Range units (lo ∧ hi on one attribute)
+	// derive their masks by ANDing the single-term masks, avoiding any
+	// further row scans.
+	words := (len(rc.excluded) + 63) / 64
+	var units [][]algebra.Term // each unit: 1..MaxTermsPerAttr terms on one attribute
+	unitAttr := []string{}
+	var unitMasks [][]uint64
+	for _, a := range attrs {
+		pool := pools[a]
+		masks := make([][]uint64, len(pool))
+		for pi, t := range pool {
+			mask := make([]uint64, words)
+			match := algebra.Predicate{algebra.Conjunct{t}}.Compile(j.Rel.Schema)
+			for ei, ri := range rc.excluded {
+				if match(j.Rel.Tuples[ri]) {
+					mask[ei/64] |= 1 << (ei % 64)
+				}
+			}
+			masks[pi] = mask
+			units = append(units, []algebra.Term{t})
+			unitAttr = append(unitAttr, a)
+			unitMasks = append(unitMasks, mask)
+		}
+		if g.cfg.MaxTermsPerAttr >= 2 {
+			// Range conjunctions: pair a lower bound with an upper bound.
+			for li, lo := range pool {
+				if lo.Op != algebra.OpGT && lo.Op != algebra.OpGE {
+					continue
+				}
+				for hi2, hi := range pool {
+					if hi.Op != algebra.OpLT && hi.Op != algebra.OpLE {
+						continue
+					}
+					mask := make([]uint64, words)
+					for w := range mask {
+						mask[w] = masks[li][w] & masks[hi2][w]
+					}
+					units = append(units, []algebra.Term{lo, hi})
+					unitAttr = append(unitAttr, a)
+					unitMasks = append(unitMasks, mask)
+				}
+			}
+		}
+	}
+	// Strongest exclusion first: units admitting fewer excluded rows lead
+	// to separating conjuncts at shallower depths, which matters because
+	// the search is node-budgeted.
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	pop := func(mask []uint64) int {
+		n := 0
+		for _, w := range mask {
+			n += bits.OnesCount64(w)
+		}
+		return n
+	}
+	popCache := make([]int, len(units))
+	for i := range units {
+		popCache[i] = pop(unitMasks[i])
+	}
+	sort.SliceStable(order, func(a, b int) bool { return popCache[order[a]] < popCache[order[b]] })
+	reorderedUnits := make([][]algebra.Term, len(units))
+	reorderedAttrs := make([]string, len(units))
+	reorderedMasks := make([][]uint64, len(units))
+	for i, o := range order {
+		reorderedUnits[i] = units[o]
+		reorderedAttrs[i] = unitAttr[o]
+		reorderedMasks[i] = unitMasks[o]
+	}
+	units, unitAttr, unitMasks = reorderedUnits, reorderedAttrs, reorderedMasks
+	empty := func(mask []uint64) bool {
+		for _, w := range mask {
+			if w != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Combine units from distinct attributes, growing conjuncts until they
+	// exclude every excluded row; emit all verified combinations up to the
+	// attribute budget.
+	full := make([]uint64, words)
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+	if bits := len(rc.excluded) % 64; bits != 0 && words > 0 {
+		full[words-1] = (1 << bits) - 1
+	}
+	nodes := 0
+	maxNodes := g.cfg.MaxGrowNodes
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	// One scratch mask per recursion depth: the search explores one branch
+	// at a time, so depth-indexed buffers avoid per-node allocation.
+	scratch := make([][]uint64, g.cfg.MaxPredAttrs+1)
+	for i := range scratch {
+		scratch[i] = make([]uint64, words)
+	}
+	var grow func(start int, conj []algebra.Term, admit []uint64, used map[string]bool, depth int)
+	grow = func(start int, conj []algebra.Term, admit []uint64, used map[string]bool, depth int) {
+		if g.full() {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			return
+		}
+		if len(conj) > 0 && empty(admit) {
+			g.emitVerified(vrf, algebra.Predicate{append([]algebra.Term(nil), conj...)})
+			// Deeper conjunctions of a separating conjunct stay separating
+			// but only add redundancy; stop this branch.
+			return
+		}
+		if depth >= g.cfg.MaxPredAttrs {
+			return
+		}
+		next := scratch[depth]
+		for u := start; u < len(units); u++ {
+			if used[unitAttr[u]] {
+				continue
+			}
+			narrowed := false
+			for w := range next {
+				next[w] = admit[w] & unitMasks[u][w]
+				if next[w] != admit[w] {
+					narrowed = true
+				}
+			}
+			if len(conj) > 0 && !narrowed {
+				continue // the unit adds nothing on the excluded rows
+			}
+			used[unitAttr[u]] = true
+			grow(u+1, append(conj, units[u]...), next, used, depth+1)
+			used[unitAttr[u]] = false
+		}
+	}
+	grow(0, nil, full, map[string]bool{}, 0)
+
+	// DNF by categorical clustering: split the required rows by the value
+	// of one categorical attribute and synthesize a conjunct per cluster.
+	g.generateClusterDNF(j, tables, proj, rc)
+}
+
+// greedyAnchors picks, from the optional rows, one row per needed result
+// tuple (respecting multiplicities) to serve as the anchor set when nothing
+// is strictly required.
+func greedyAnchors(j *db.Joined, proj []string, r *relation.Relation, optional []int) []int {
+	idx := make([]int, len(proj))
+	for i, p := range proj {
+		idx[i] = j.Rel.Schema.MustIndexOf(p)
+	}
+	need := r.Counts()
+	var anchors []int
+	for _, ri := range optional {
+		k := j.Rel.Tuples[ri].Project(idx).Key()
+		if need[k] > 0 {
+			need[k]--
+			anchors = append(anchors, ri)
+		}
+	}
+	return anchors
+}
+
+// coveringTermPools builds, per attribute, terms satisfied by every required
+// row (candidates for conjunct membership).
+func (g *generator) coveringTermPools(j *db.Joined, required []int) map[string][]algebra.Term {
+	pools := make(map[string][]algebra.Term)
+	for ci, col := range j.Rel.Schema {
+		var pool []algebra.Term
+		switch {
+		case col.Type.Numeric():
+			pool = g.numericCoveringTerms(j, ci, col.Name, required)
+		case col.Type == relation.KindString || col.Type == relation.KindBool:
+			pool = g.categoricalCoveringTerms(j, ci, col.Name, required)
+		}
+		if len(pool) > g.cfg.MaxTermsPerAttrPool {
+			pool = pool[:g.cfg.MaxTermsPerAttrPool]
+		}
+		if len(pool) > 0 {
+			pools[col.Name] = pool
+		}
+	}
+	return pools
+}
+
+// numericCoveringTerms proposes bounds that hold for all required rows,
+// anchored at data values: A ≥ min, A ≤ max, and strict versions at the
+// nearest outside values (which is where real queries put constants, cf.
+// the paper's Q3: year > 1982 AND year <= 1987).
+func (g *generator) numericCoveringTerms(j *db.Joined, ci int, attr string, required []int) []algebra.Term {
+	if len(required) == 0 {
+		return nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ri := range required {
+		v := j.Rel.Tuples[ri][ci]
+		if !v.Kind.Numeric() {
+			return nil
+		}
+		f := v.AsFloat()
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	// Nearest values outside [lo, hi] in the full column, to anchor strict
+	// bounds.
+	below, above := math.Inf(-1), math.Inf(1)
+	all := true
+	for _, t := range j.Rel.Tuples {
+		v := t[ci]
+		if !v.Kind.Numeric() {
+			continue
+		}
+		f := v.AsFloat()
+		if f < lo && f > below {
+			below = f
+		}
+		if f > hi && f < above {
+			above = f
+		}
+		if f < lo || f > hi {
+			all = false
+		}
+	}
+	if all {
+		return nil // attribute cannot separate anything
+	}
+	kind := j.Rel.Schema[ci].Type
+	mk := func(f float64) relation.Value {
+		if kind == relation.KindInt && f == math.Trunc(f) {
+			return relation.Int(int64(f))
+		}
+		return relation.Float(f)
+	}
+	var pool []algebra.Term
+	pool = append(pool, algebra.NewTerm(attr, algebra.OpGE, mk(lo)))
+	if !math.IsInf(below, -1) {
+		pool = append(pool, algebra.NewTerm(attr, algebra.OpGT, mk(below)))
+	}
+	pool = append(pool, algebra.NewTerm(attr, algebra.OpLE, mk(hi)))
+	if !math.IsInf(above, 1) {
+		pool = append(pool, algebra.NewTerm(attr, algebra.OpLT, mk(above)))
+	}
+	return pool
+}
+
+// categoricalCoveringTerms proposes equality / IN terms over the required
+// rows' value set.
+func (g *generator) categoricalCoveringTerms(j *db.Joined, ci int, attr string, required []int) []algebra.Term {
+	vals := map[string]relation.Value{}
+	for _, ri := range required {
+		v := j.Rel.Tuples[ri][ci]
+		vals[v.Key()] = v
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	// If the required set covers the whole active domain the attribute
+	// cannot separate.
+	dom := map[string]bool{}
+	for _, t := range j.Rel.Tuples {
+		dom[t[ci].Key()] = true
+	}
+	if len(vals) == len(dom) {
+		return nil
+	}
+	set := make([]relation.Value, 0, len(vals))
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		set = append(set, vals[k])
+	}
+	if len(set) == 1 {
+		return []algebra.Term{algebra.NewTerm(attr, algebra.OpEQ, set[0])}
+	}
+	return []algebra.Term{algebra.NewSetTerm(attr, algebra.OpIn, set)}
+}
+
+// excludesAll reports whether the conjunct rejects every excluded row.
+func (g *generator) excludesAll(j *db.Joined, conj []algebra.Term, excluded []int) bool {
+	match := algebra.Predicate{algebra.Conjunct(conj)}.Compile(j.Rel.Schema)
+	for _, ri := range excluded {
+		if match(j.Rel.Tuples[ri]) {
+			return false
+		}
+	}
+	return true
+}
+
+// generateClusterDNF builds disjunctive candidates: the result-producing
+// rows are clustered by the value of one categorical attribute; each cluster
+// yields an equality-anchored conjunct, refined with up to two covering
+// terms when the equality alone admits excluded rows. When the initial
+// clusters (from the required rows) under-cover R — common when projected
+// values collide and most result rows are "optional" — a residual-repair
+// loop adds clusters for the optional rows that supply the missing result
+// tuples. This produces queries like the paper's Q4 (a disjunction of
+// playerID equalities) and Q5/Q6 (an equality plus numeric bounds).
+func (g *generator) generateClusterDNF(j *db.Joined, tables, proj []string, rc rowClass) {
+	excl := make(map[int]bool, len(rc.excluded))
+	for _, ri := range rc.excluded {
+		excl[ri] = true
+	}
+	projIdx := make([]int, len(proj))
+	for i, p := range proj {
+		projIdx[i] = j.Rel.Schema.MustIndexOf(p)
+	}
+	need := g.r.Counts()
+
+	for ci, col := range j.Rel.Schema {
+		if col.Type != relation.KindString {
+			continue
+		}
+		if g.full() {
+			return
+		}
+		// Initial cluster values: the required rows' values.
+		var values []relation.Value
+		haveVal := map[string]bool{}
+		for _, ri := range rc.required {
+			v := j.Rel.Tuples[ri][ci]
+			if !haveVal[v.Key()] {
+				haveVal[v.Key()] = true
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 || len(values) > g.cfg.MaxDisjuncts {
+			continue
+		}
+		// Row index by cluster value: every row a cluster predicate can
+		// select carries one of the cluster values, so scans below touch
+		// only these rows instead of the whole join.
+		rowsByVal := map[string][]int{}
+		for ri, t := range j.Rel.Tuples {
+			k := t[ci].Key()
+			rowsByVal[k] = append(rowsByVal[k], ri)
+		}
+		conjCache := map[string]algebra.Conjunct{}
+
+		for round := 0; round < 4; round++ {
+			pred, ok := g.buildClusterPredicate(j, ci, values, excl, rowsByVal, conjCache)
+			if !ok {
+				break
+			}
+			// Project the selected rows and compare against R.
+			match := pred.Compile(j.Rel.Schema)
+			got := map[string]int{}
+			for _, v := range values {
+				for _, ri := range rowsByVal[v.Key()] {
+					if excl[ri] {
+						continue
+					}
+					if t := j.Rel.Tuples[ri]; match(t) {
+						got[t.Project(projIdx).Key()]++
+					}
+				}
+			}
+			overshoot, missing := false, false
+			var missingKeys map[string]bool
+			for k, n := range got {
+				if n > need[k] {
+					overshoot = true
+					break
+				}
+			}
+			if !overshoot {
+				missingKeys = map[string]bool{}
+				for k, n := range need {
+					if got[k] < n {
+						missingKeys[k] = true
+						missing = true
+					}
+				}
+			}
+			if overshoot {
+				break // repair can only add rows, never remove
+			}
+			if !missing {
+				// got == need exactly and the cluster builder already
+				// rejected every excluded row: the query is verified.
+				g.emitTrusted(tables, proj, pred)
+				// Enrich QC with variants that tighten one cluster by a
+				// covering term: they select the same rows on D (covering
+				// terms hold on every selected row) but behave differently
+				// on modified databases, giving QFE something to winnow.
+				for vi, v := range values {
+					if g.full() {
+						break
+					}
+					var rows []int
+					for _, ri := range rowsByVal[v.Key()] {
+						if !excl[ri] {
+							rows = append(rows, ri)
+						}
+					}
+					refs := g.clusterRefinements(j, rows)
+					for k, extra := range refs {
+						if k >= 3 {
+							break
+						}
+						variant := make(algebra.Predicate, len(pred))
+						for pi, conj := range pred {
+							variant[pi] = append(algebra.Conjunct(nil), conj...)
+						}
+						variant[vi] = append(variant[vi], extra)
+						g.emitTrusted(tables, proj, variant)
+					}
+				}
+				break
+			}
+			// Repair: adopt cluster values of non-excluded rows that supply
+			// missing result tuples. When several values can supply the
+			// same missing tuple (projected-value collisions), prefer the
+			// value whose cluster contains the fewest excluded rows —
+			// "clean" clusters cannot cause overshoot in later rounds.
+			badCount := map[string]int{}
+			for ri, t := range j.Rel.Tuples {
+				if excl[ri] {
+					badCount[t[ci].Key()]++
+				}
+			}
+			bestFor := map[string]relation.Value{}
+			for ri, t := range j.Rel.Tuples {
+				if excl[ri] {
+					continue
+				}
+				k := t.Project(projIdx).Key()
+				if !missingKeys[k] {
+					continue
+				}
+				v := t[ci]
+				if haveVal[v.Key()] {
+					continue
+				}
+				cur, ok := bestFor[k]
+				if !ok || badCount[v.Key()] < badCount[cur.Key()] ||
+					(badCount[v.Key()] == badCount[cur.Key()] && v.Key() < cur.Key()) {
+					bestFor[k] = v
+				}
+			}
+			keys := make([]string, 0, len(bestFor))
+			for k := range bestFor {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			added := false
+			for _, k := range keys {
+				v := bestFor[k]
+				if haveVal[v.Key()] {
+					continue
+				}
+				if len(values) >= g.cfg.MaxDisjuncts {
+					break
+				}
+				haveVal[v.Key()] = true
+				values = append(values, v)
+				added = true
+			}
+			if !added {
+				break
+			}
+		}
+	}
+}
+
+// buildClusterPredicate assembles one DNF: per cluster value an equality
+// conjunct, refined with up to two covering terms (over the cluster's
+// non-excluded rows) until the conjunct rejects every excluded row of the
+// cluster.
+func (g *generator) buildClusterPredicate(j *db.Joined, ci int,
+	values []relation.Value, excl map[int]bool, rowsByVal map[string][]int,
+	conjCache map[string]algebra.Conjunct) (algebra.Predicate, bool) {
+	attr := j.Rel.Schema[ci].Name
+	var pred algebra.Predicate
+	for _, v := range values {
+		if cached, ok := conjCache[v.Key()]; ok {
+			pred = append(pred, cached)
+			continue
+		}
+		var good, bad []int
+		for _, ri := range rowsByVal[v.Key()] {
+			if excl[ri] {
+				bad = append(bad, ri)
+			} else {
+				good = append(good, ri)
+			}
+		}
+		if len(good) == 0 {
+			return nil, false
+		}
+		conj := algebra.Conjunct{algebra.NewTerm(attr, algebra.OpEQ, v)}
+		if len(bad) > 0 {
+			refs := g.clusterRefinements(j, good)
+			refined := false
+			for _, t1 := range refs {
+				cand := append(append(algebra.Conjunct{}, conj...), t1)
+				if g.excludesAll(j, cand, bad) {
+					conj, refined = cand, true
+					break
+				}
+			}
+			if !refined {
+				// Pairs of covering terms from different attributes.
+			pairSearch:
+				for a := 0; a < len(refs) && !refined; a++ {
+					for b := a + 1; b < len(refs); b++ {
+						if refs[a].Attr == refs[b].Attr &&
+							refs[a].Op == refs[b].Op {
+							continue
+						}
+						cand := append(append(algebra.Conjunct{}, conj...), refs[a], refs[b])
+						if g.excludesAll(j, cand, bad) {
+							conj, refined = cand, true
+							break pairSearch
+						}
+					}
+				}
+			}
+			if !refined {
+				return nil, false
+			}
+		}
+		conjCache[v.Key()] = conj
+		pred = append(pred, conj)
+	}
+	return pred, true
+}
+
+// clusterRefinements proposes single covering terms for a row cluster, in a
+// deterministic order.
+func (g *generator) clusterRefinements(j *db.Joined, rows []int) []algebra.Term {
+	pools := g.coveringTermPools(j, rows)
+	attrs := make([]string, 0, len(pools))
+	for a := range pools {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	var out []algebra.Term
+	for _, a := range attrs {
+		out = append(out, pools[a]...)
+	}
+	return out
+}

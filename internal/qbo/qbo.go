@@ -1,0 +1,381 @@
+// Package qbo reverse-engineers candidate SPJ queries from a database-result
+// pair (D, R), playing the role of the paper's Query Generator module (§4),
+// which adopts the QBO approach of Tran et al. [21]. Given (D, R) it
+// produces queries Q with Q(D) = R exactly (bag semantics), of the form
+// π_ℓ(σ_p(J)) with p in DNF.
+//
+// The generator enumerates (a) join schemas — connected-by-foreign-key
+// subsets of the tables, (b) projection mappings from R's columns onto the
+// joined schema, and (c) selection predicates built from covering terms
+// (terms satisfied by every tuple that must appear in the result) combined
+// conjunctively across attributes and disjunctively across categorical
+// clusters. Every emitted query is verified by evaluation, so configuration
+// knobs only control the search budget, never correctness.
+package qbo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/relation"
+)
+
+// Config bounds the candidate search, mirroring QBO's knobs: "the maximum
+// number of selection-predicate attributes, the maximum number of joined
+// relations, the maximum number of selection predicates in each conjunct,
+// etc." (§4).
+type Config struct {
+	// MaxJoinTables caps the join schema size (0 = all tables allowed).
+	MaxJoinTables int
+	// MaxPredAttrs caps the number of distinct attributes per conjunct.
+	MaxPredAttrs int
+	// MaxTermsPerAttr caps terms on one attribute in a conjunct (2 allows
+	// ranges lo < A ≤ hi).
+	MaxTermsPerAttr int
+	// MaxDisjuncts caps the DNF width explored by categorical clustering.
+	MaxDisjuncts int
+	// MaxCandidates stops the search once this many verified candidates
+	// exist (0 = unlimited).
+	MaxCandidates int
+	// MaxTermsPerAttrPool caps the covering terms generated per attribute.
+	MaxTermsPerAttrPool int
+	// MaxProjectionMappings caps the projection mappings tried per join.
+	MaxProjectionMappings int
+	// MaxGrowNodes budgets the conjunction-combination search per
+	// (join, projection) pair (0 = 100000).
+	MaxGrowNodes int
+}
+
+// DefaultConfig returns a budget that yields candidate sets of the paper's
+// magnitude (≈ 19 for the scientific queries).
+func DefaultConfig() Config {
+	return Config{
+		MaxJoinTables:         0,
+		MaxPredAttrs:          3,
+		MaxTermsPerAttr:       2,
+		MaxDisjuncts:          4,
+		MaxCandidates:         64,
+		MaxTermsPerAttrPool:   4,
+		MaxProjectionMappings: 3,
+	}
+}
+
+// Generate produces verified candidate queries for (d, R). Candidates are
+// deduplicated by fingerprint and returned in deterministic order, named
+// C1, C2, ....
+func Generate(d *db.Database, r *relation.Relation, cfg Config) ([]*algebra.Query, error) {
+	if cfg.MaxPredAttrs <= 0 {
+		cfg.MaxPredAttrs = 3
+	}
+	if cfg.MaxTermsPerAttr <= 0 {
+		cfg.MaxTermsPerAttr = 2
+	}
+	if cfg.MaxDisjuncts <= 0 {
+		cfg.MaxDisjuncts = 4
+	}
+	if cfg.MaxTermsPerAttrPool <= 0 {
+		cfg.MaxTermsPerAttrPool = 4
+	}
+	if cfg.MaxProjectionMappings <= 0 {
+		cfg.MaxProjectionMappings = 3
+	}
+
+	g := &generator{d: d, r: r, cfg: cfg, seen: map[string]bool{}}
+	subsets := connectedTableSubsets(d, cfg.MaxJoinTables)
+	for _, tables := range subsets {
+		if g.full() {
+			break
+		}
+		j, err := db.Join(d, tables)
+		if err != nil {
+			continue // disconnected combination; skip
+		}
+		if j.Rel.Len() < r.Len() {
+			continue // join too small to produce R under bag semantics
+		}
+		for _, proj := range g.projectionMappings(j) {
+			if g.full() {
+				break
+			}
+			g.generateForJoin(j, tables, proj)
+		}
+	}
+	for i, q := range g.out {
+		q.Name = fmt.Sprintf("C%d", i+1)
+	}
+	return g.out, nil
+}
+
+type generator struct {
+	d    *db.Database
+	r    *relation.Relation
+	cfg  Config
+	out  []*algebra.Query
+	seen map[string]bool
+}
+
+func (g *generator) full() bool {
+	return g.cfg.MaxCandidates > 0 && len(g.out) >= g.cfg.MaxCandidates
+}
+
+// emit verifies Q(D) = R by full evaluation and appends the query if new.
+func (g *generator) emit(j *db.Joined, tables []string, proj []string, pred algebra.Predicate) {
+	if g.full() {
+		return
+	}
+	q := &algebra.Query{Tables: tables, Projection: proj, Pred: pred}
+	fp := q.Fingerprint()
+	if g.seen[fp] {
+		return
+	}
+	res, err := q.EvaluateOnJoined(j.Rel)
+	if err != nil || !res.BagEqual(g.r) {
+		return
+	}
+	g.seen[fp] = true
+	g.out = append(g.out, q)
+}
+
+// emitTrusted appends a query whose exactness the caller has already
+// established (used by the cluster builder, whose residual check is itself
+// a complete verification).
+func (g *generator) emitTrusted(tables, proj []string, pred algebra.Predicate) {
+	if g.full() {
+		return
+	}
+	q := &algebra.Query{Tables: tables, Projection: proj, Pred: pred}
+	fp := q.Fingerprint()
+	if g.seen[fp] {
+		return
+	}
+	g.seen[fp] = true
+	g.out = append(g.out, q)
+}
+
+// verifier carries the per-(join, projection) state that lets emitVerified
+// check Q(D) = R by scanning only the rows that can possibly be selected.
+// It is sound only for predicates already known to reject every excluded
+// row (the combination search guarantees this via exclusion bitmaps, the
+// cluster builder via per-cluster bad-row checks).
+type verifier struct {
+	j       *db.Joined
+	tables  []string
+	proj    []string
+	projIdx []int
+	rows    []int // required ∪ optional
+	need    map[string]int
+}
+
+func (g *generator) newVerifier(j *db.Joined, tables, proj []string, rc rowClass) *verifier {
+	v := &verifier{j: j, tables: tables, proj: proj, need: g.r.Counts()}
+	v.projIdx = make([]int, len(proj))
+	for i, p := range proj {
+		v.projIdx[i] = j.Rel.Schema.MustIndexOf(p)
+	}
+	v.rows = append(append([]int(nil), rc.required...), rc.optional...)
+	return v
+}
+
+// emitVerified appends the query if it is new and selects exactly R from
+// the verifier's candidate rows.
+func (g *generator) emitVerified(v *verifier, pred algebra.Predicate) {
+	if g.full() {
+		return
+	}
+	q := &algebra.Query{Tables: v.tables, Projection: v.proj, Pred: pred}
+	fp := q.Fingerprint()
+	if g.seen[fp] {
+		return
+	}
+	match := pred.Compile(v.j.Rel.Schema)
+	got := make(map[string]int, len(v.need))
+	total := 0
+	for _, ri := range v.rows {
+		t := v.j.Rel.Tuples[ri]
+		if !match(t) {
+			continue
+		}
+		k := t.Project(v.projIdx).Key()
+		got[k]++
+		total++
+		if got[k] > v.need[k] {
+			return // overshoot: cannot equal R
+		}
+	}
+	if total != g.r.Len() {
+		return
+	}
+	g.seen[fp] = true
+	g.out = append(g.out, q)
+}
+
+// connectedTableSubsets enumerates subsets of tables connected by foreign
+// keys, ordered by size then lexicographically, capped at maxSize (0 = no
+// cap). Single tables are always connected.
+func connectedTableSubsets(d *db.Database, maxSize int) [][]string {
+	names := d.TableNames()
+	n := len(names)
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	idx := map[string]int{}
+	for i, t := range names {
+		idx[t] = i
+	}
+	for _, fk := range d.ForeignKeys {
+		a, aok := idx[fk.ChildTable]
+		b, bok := idx[fk.ParentTable]
+		if aok && bok {
+			adj[a][b], adj[b][a] = true, true
+		}
+	}
+	var out [][]string
+	for mask := 1; mask < 1<<n; mask++ {
+		size := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				size++
+			}
+		}
+		if size > maxSize {
+			continue
+		}
+		if !maskConnected(mask, adj, n) {
+			continue
+		}
+		var subset []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, names[i])
+			}
+		}
+		out = append(out, subset)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if len(out[i]) != len(out[k]) {
+			return len(out[i]) < len(out[k])
+		}
+		for x := range out[i] {
+			if out[i][x] != out[k][x] {
+				return out[i][x] < out[k][x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func maskConnected(mask int, adj [][]bool, n int) bool {
+	start := -1
+	for i := 0; i < n; i++ {
+		if mask&(1<<i) != 0 {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	visited := 1 << start
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for w := 0; w < n; w++ {
+			if mask&(1<<w) != 0 && visited&(1<<w) == 0 && adj[v][w] {
+				visited |= 1 << w
+				queue = append(queue, w)
+			}
+		}
+	}
+	return visited == mask
+}
+
+// projectionMappings finds assignments of R's columns to joined columns with
+// matching types and value containment. Candidates per column are ordered by
+// plausibility (name match, exact kind, schema order) and complete mappings
+// are kept only when the joint multiset classification is feasible, so a
+// spurious single-column match (e.g. an integer that also occurs in some
+// float column) cannot poison the search. Results are capped by the config.
+func (g *generator) projectionMappings(j *db.Joined) [][]string {
+	// Candidate joined columns per R column.
+	cands := make([][]string, g.r.Arity())
+	for ri, rc := range g.r.Schema {
+		rvals := map[string]bool{}
+		for _, t := range g.r.Tuples {
+			rvals[t[ri].Key()] = true
+		}
+		type scored struct {
+			name string
+			rank int
+		}
+		var cs []scored
+		for ci, jc := range j.Rel.Schema {
+			if jc.Type != rc.Type && !(jc.Type.Numeric() && rc.Type.Numeric()) {
+				continue
+			}
+			dom := map[string]bool{}
+			for _, t := range j.Rel.Tuples {
+				dom[t[ci].Key()] = true
+			}
+			ok := true
+			for k := range rvals {
+				if !dom[k] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			rank := 2
+			if jc.Type == rc.Type {
+				rank = 1
+			}
+			if jc.Name == rc.Name || strings.HasSuffix(jc.Name, "."+rc.Name) {
+				rank = 0
+			}
+			cs = append(cs, scored{name: jc.Name, rank: rank})
+		}
+		if len(cs) == 0 {
+			return nil
+		}
+		sort.SliceStable(cs, func(a, b int) bool { return cs[a].rank < cs[b].rank })
+		for _, c := range cs {
+			cands[ri] = append(cands[ri], c.name)
+		}
+	}
+	// Depth-first over the cartesian product in plausibility order; keep
+	// only feasible mappings, bounding both results and attempts.
+	var out [][]string
+	attempts := 0
+	maxAttempts := g.cfg.MaxProjectionMappings * 32
+	cur := make([]string, g.r.Arity())
+	var rec func(i int)
+	rec = func(i int) {
+		if len(out) >= g.cfg.MaxProjectionMappings || attempts >= maxAttempts {
+			return
+		}
+		if i == len(cands) {
+			attempts++
+			m := append([]string(nil), cur...)
+			if classifyRows(j, m, g.r).feasible {
+				out = append(out, m)
+			}
+			return
+		}
+		for _, c := range cands[i] {
+			cur[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

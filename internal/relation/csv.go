@@ -1,0 +1,100 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV loads a relation from CSV. The first row must be a header of the
+// form "name:type" (type in {int,float,string,bool}); a bare "name" defaults
+// to string. Empty cells become NULL.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: csv %s: read header: %w", name, err)
+	}
+	schema := make(Schema, len(header))
+	for i, h := range header {
+		col := Column{Name: h, Type: KindString}
+		if j := strings.LastIndexByte(h, ':'); j >= 0 {
+			col.Name = h[:j]
+			switch strings.ToLower(h[j+1:]) {
+			case "int":
+				col.Type = KindInt
+			case "float":
+				col.Type = KindFloat
+			case "string", "str":
+				col.Type = KindString
+			case "bool":
+				col.Type = KindBool
+			default:
+				return nil, fmt.Errorf("relation: csv %s: column %q: unknown type", name, h)
+			}
+		}
+		schema[i] = col
+	}
+	rel := New(name, schema)
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv %s line %d: %w", name, line, err)
+		}
+		if len(record) != len(schema) {
+			return nil, fmt.Errorf("relation: csv %s line %d: %d fields, want %d",
+				name, line, len(record), len(schema))
+		}
+		t := make(Tuple, len(record))
+		for i, cell := range record {
+			if cell == "" {
+				t[i] = Null()
+				continue
+			}
+			v, err := ParseValue(schema[i].Type, cell)
+			if err != nil {
+				return nil, fmt.Errorf("relation: csv %s line %d col %s: %w",
+					name, line, schema[i].Name, err)
+			}
+			t[i] = v
+		}
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation in the format ReadCSV accepts.
+func WriteCSV(rel *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(rel.Schema))
+	for i, c := range rel.Schema {
+		header[i] = c.Name + ":" + c.Type.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: csv write %s: %w", rel.Name, err)
+	}
+	row := make([]string, len(rel.Schema))
+	for _, t := range rel.Tuples {
+		for i, v := range t {
+			switch v.Kind {
+			case KindNull:
+				row[i] = ""
+			case KindFloat:
+				row[i] = strconv.FormatFloat(v.F, 'g', -1, 64)
+			default:
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation: csv write %s: %w", rel.Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,273 @@
+// Package relation implements the typed relational data model that every
+// other QFE component builds on: values, schemas, tuples and relations with
+// bag (multiset) and set semantics.
+//
+// The paper (Li, Chan, Maier, PVLDB 8(13)) runs on top of MySQL; this package
+// is the in-memory substitute. It is deliberately small and deterministic:
+// relations preserve tuple order, all iteration orders are stable, and every
+// operation that "modifies" a relation returns a copy unless it is explicitly
+// documented as in-place.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the engine. QFE only needs
+// the types that appear in the paper's datasets: integers, floats, strings
+// and booleans, plus NULL for outer-join-style extensions.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind ("int", "float", ...).
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind is ordered-numeric (int or float).
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a single typed cell value. The struct is comparable (usable as a
+// map key) and compact; only the field selected by Kind is meaningful.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// String2 is not provided; use Str. (The method name String is reserved for
+// fmt.Stringer.)
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat converts a numeric value to float64. It panics on non-numeric
+// kinds; callers are expected to have checked Kind.Numeric first.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		panic(fmt.Sprintf("relation: AsFloat on %s value", v.Kind))
+	}
+}
+
+// Equal reports deep value equality. Int and float values compare
+// numerically, so Int(3) equals Float(3.0); this mirrors SQL comparison
+// semantics and keeps predicate evaluation consistent across numeric kinds.
+func (v Value) Equal(w Value) bool { return v.Compare(w) == 0 }
+
+// Compare orders two values. The order is total:
+//
+//	NULL < bool(false) < bool(true) < numerics (by value) < strings (lexical)
+//
+// Numeric kinds compare with each other by numeric value; ties between an
+// int and a float representing the same number are broken in favour of
+// equality (0). Comparing across non-numeric kinds orders by kind rank.
+func (v Value) Compare(w Value) int {
+	vr, wr := v.rank(), w.rank()
+	if vr != wr {
+		if vr < wr {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case v.Kind == KindNull:
+		return 0
+	case v.Kind == KindBool:
+		if v.B == w.B {
+			return 0
+		}
+		if !v.B {
+			return -1
+		}
+		return 1
+	case v.Kind.Numeric():
+		if v.Kind == KindInt && w.Kind == KindInt {
+			switch {
+			case v.I < w.I:
+				return -1
+			case v.I > w.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	default: // string
+		return strings.Compare(v.S, w.S)
+	}
+}
+
+// rank groups kinds for cross-kind ordering; numerics share a rank.
+func (v Value) rank() int {
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// String renders the value for display: NULL, integers, shortest-float,
+// quoted strings, true/false.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.Kind))
+	}
+}
+
+// SQL renders the value as a SQL literal (strings single-quoted with
+// escaping, NULL as the keyword).
+func (v Value) SQL() string {
+	switch v.Kind {
+	case KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case KindNull:
+		return "NULL"
+	default:
+		return v.String()
+	}
+}
+
+// appendKey writes a compact unambiguous encoding of v to b. It is the
+// building block for tuple/relation fingerprints used in maps.
+func (v Value) appendKey(b *strings.Builder) {
+	switch v.Kind {
+	case KindNull:
+		b.WriteByte('n')
+	case KindInt:
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	case KindFloat:
+		// Integral floats encode like ints so Int(3) and Float(3) agree,
+		// matching Equal/Compare semantics.
+		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) && math.Abs(v.F) < 1e15 {
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(int64(v.F), 10))
+		} else {
+			b.WriteByte('f')
+			b.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+		}
+	case KindString:
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(len(v.S)))
+		b.WriteByte(':')
+		b.WriteString(v.S)
+	case KindBool:
+		if v.B {
+			b.WriteByte('t')
+		} else {
+			b.WriteByte('b')
+		}
+	}
+}
+
+// Key returns the canonical encoding of the value, safe as a map key across
+// kinds (Int/Float that compare equal share a key).
+func (v Value) Key() string {
+	var b strings.Builder
+	v.appendKey(&b)
+	return b.String()
+}
+
+// ParseValue parses s into a value of the given kind. It is used by the CSV
+// loader and the SQL parser.
+func ParseValue(kind Kind, s string) (Value, error) {
+	switch kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return Str(s), nil
+	case KindBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(s))
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	default:
+		return Value{}, fmt.Errorf("relation: parse: unknown kind %v", kind)
+	}
+}

@@ -1,0 +1,179 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hi"), KindString, "hi"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindNull: "null", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindBool: "bool",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !KindInt.Numeric() || !KindFloat.Numeric() {
+		t.Error("int/float should be numeric")
+	}
+	if KindString.Numeric() || KindBool.Numeric() || KindNull.Numeric() {
+		t.Error("string/bool/null should not be numeric")
+	}
+}
+
+func TestValueCompareSameKind(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(5).Compare(Int(5)) != 0 {
+		t.Error("int comparison broken")
+	}
+	if Float(1.5).Compare(Float(2.5)) != -1 || Float(2.5).Compare(Float(1.5)) != 1 {
+		t.Error("float comparison broken")
+	}
+	if Str("a").Compare(Str("b")) != -1 || Str("b").Compare(Str("a")) != 1 || Str("a").Compare(Str("a")) != 0 {
+		t.Error("string comparison broken")
+	}
+	if Bool(false).Compare(Bool(true)) != -1 || Bool(true).Compare(Bool(false)) != 1 {
+		t.Error("bool comparison broken")
+	}
+	if Null().Compare(Null()) != 0 {
+		t.Error("null should equal null")
+	}
+}
+
+func TestValueCompareCrossNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Compare(Float(3.5)) != -1 {
+		t.Error("Int(3) < Float(3.5)")
+	}
+	if Float(3.5).Compare(Int(4)) != -1 {
+		t.Error("Float(3.5) < Int(4)")
+	}
+	// Cross-kind ordering: null < bool < numeric < string.
+	if Null().Compare(Bool(false)) != -1 {
+		t.Error("null < bool")
+	}
+	if Bool(true).Compare(Int(0)) != -1 {
+		t.Error("bool < int")
+	}
+	if Int(999).Compare(Str("")) != -1 {
+		t.Error("numeric < string")
+	}
+}
+
+func TestValueKeyAgreesWithEqual(t *testing.T) {
+	// Equal values share keys, including Int/Float that compare equal.
+	if Int(3).Key() != Float(3).Key() {
+		t.Errorf("Int(3).Key()=%q != Float(3.0).Key()=%q", Int(3).Key(), Float(3).Key())
+	}
+	if Int(3).Key() == Float(3.5).Key() {
+		t.Error("distinct values share key")
+	}
+	if Str("t").Key() == Bool(true).Key() {
+		t.Error("Str(t) and Bool(true) must not collide")
+	}
+	if Str("3").Key() == Int(3).Key() {
+		t.Error("Str(3) and Int(3) must not collide")
+	}
+}
+
+func TestValueKeyQuick(t *testing.T) {
+	// Property: for random int pairs, key equality iff value equality.
+	f := func(a, b int64) bool {
+		return (Int(a).Key() == Int(b).Key()) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return (Str(a).Key() == Str(b).Key()) == (a == b)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetryQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return Float(a).Compare(Float(b)) == -Float(b).Compare(Float(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueSQL(t *testing.T) {
+	if got := Str("O'Brien").SQL(); got != "'O''Brien'" {
+		t.Errorf("SQL quoting = %q", got)
+	}
+	if got := Null().SQL(); got != "NULL" {
+		t.Errorf("NULL literal = %q", got)
+	}
+	if got := Int(5).SQL(); got != "5" {
+		t.Errorf("Int literal = %q", got)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(KindInt, " 42 ")
+	if err != nil || !v.Equal(Int(42)) {
+		t.Errorf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue(KindFloat, "2.5")
+	if err != nil || !v.Equal(Float(2.5)) {
+		t.Errorf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue(KindString, "abc")
+	if err != nil || !v.Equal(Str("abc")) {
+		t.Errorf("ParseValue string: %v %v", v, err)
+	}
+	v, err = ParseValue(KindBool, "true")
+	if err != nil || !v.Equal(Bool(true)) {
+		t.Errorf("ParseValue bool: %v %v", v, err)
+	}
+	if _, err := ParseValue(KindInt, "zap"); err == nil {
+		t.Error("ParseValue should fail on bad int")
+	}
+	if _, err := ParseValue(KindBool, "zap"); err == nil {
+		t.Error("ParseValue should fail on bad bool")
+	}
+}
+
+func TestAsFloatPanicsOnString(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AsFloat on string should panic")
+		}
+	}()
+	_ = Str("x").AsFloat()
+}

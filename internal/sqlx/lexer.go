@@ -1,0 +1,140 @@
+// Package sqlx provides a textual front-end for the SPJ dialect QFE
+// supports: a lexer and recursive-descent parser that turn SQL text into
+// algebra.Query values (with arbitrary boolean WHERE clauses normalised to
+// DNF), and the inverse rendering via Query.SQL. It exists for the CLI and
+// examples — the winnowing algorithms themselves operate on the algebra.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // ( ) , . * = <> < <= > >=
+	tokKeyword // SELECT FROM WHERE AND OR NOT IN JOIN DISTINCT TRUE FALSE NULL
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "JOIN": true, "DISTINCT": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int    // byte offset in the input, for error messages
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src string
+	i   int
+}
+
+// lexError reports a lexical error with position context.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("sql: position %d: %s", e.pos, e.msg) }
+
+func (l *lexer) all() ([]token, error) {
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.i < len(l.src) && unicode.IsSpace(rune(l.src[l.i])) {
+		l.i++
+	}
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: l.i}, nil
+	}
+	start := l.i
+	c := l.src[l.i]
+	switch {
+	case c == '\'':
+		l.i++
+		var b strings.Builder
+		for {
+			if l.i >= len(l.src) {
+				return token{}, &lexError{start, "unterminated string literal"}
+			}
+			if l.src[l.i] == '\'' {
+				if l.i+1 < len(l.src) && l.src[l.i+1] == '\'' { // escaped quote
+					b.WriteByte('\'')
+					l.i += 2
+					continue
+				}
+				l.i++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(l.src[l.i])
+			l.i++
+		}
+	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+		l.i++
+		for l.i < len(l.src) && (unicode.IsDigit(rune(l.src[l.i])) ||
+			l.src[l.i] == '.' || l.src[l.i] == 'e' || l.src[l.i] == 'E' ||
+			((l.src[l.i] == '-' || l.src[l.i] == '+') && (l.src[l.i-1] == 'e' || l.src[l.i-1] == 'E'))) {
+			l.i++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.i], pos: start}, nil
+	case isIdentStart(c):
+		l.i++
+		for l.i < len(l.src) && isIdentPart(l.src[l.i]) {
+			l.i++
+		}
+		word := l.src[start:l.i]
+		if keywords[strings.ToUpper(word)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(word), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	default:
+		// Multi-byte operators first.
+		for _, op := range []string{"<>", "<=", ">=", "!="} {
+			if strings.HasPrefix(l.src[l.i:], op) {
+				l.i += len(op)
+				text := op
+				if op == "!=" {
+					text = "<>"
+				}
+				return token{kind: tokSymbol, text: text, pos: start}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', '.', '*', '=', '<', '>':
+			l.i++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, &lexError{start, fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

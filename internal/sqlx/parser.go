@@ -1,0 +1,384 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qfe/internal/algebra"
+	"qfe/internal/relation"
+)
+
+// Parse parses one SPJ SELECT statement into an algebra.Query. The WHERE
+// clause may be any boolean combination of comparisons; it is normalised to
+// DNF (the representation the paper assumes for candidate queries, §4).
+//
+// Grammar (case-insensitive keywords):
+//
+//	query   = SELECT [DISTINCT] cols FROM tables [WHERE expr]
+//	cols    = '*' | col {',' col}
+//	col     = ident ['.' ident]
+//	tables  = ident {(JOIN | ',') ident}
+//	expr    = or ; or = and {OR and} ; and = unary {AND unary}
+//	unary   = [NOT] (comparison | '(' expr ')')
+//	compare = col (op literal | [NOT] IN '(' literal {',' literal} ')')
+func Parse(src string) (*algebra.Query, error) {
+	toks, err := (&lexer{src: src}).all()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errf("expected %s, found %q", kw, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*algebra.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &algebra.Query{}
+	q.Distinct = p.acceptKeyword("DISTINCT")
+
+	if p.acceptSymbol("*") {
+		// Projection of * is resolved by the caller against the join schema;
+		// an empty Projection slice encodes it.
+	} else {
+		for {
+			col, err := p.parseColumn()
+			if err != nil {
+				return nil, err
+			}
+			q.Projection = append(q.Projection, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected table name, found %q", t.text)
+		}
+		q.Tables = append(q.Tables, t.text)
+		p.advance()
+		if p.acceptKeyword("JOIN") || p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		pred, err := toDNF(e)
+		if err != nil {
+			return nil, err
+		}
+		q.Pred = pred
+	}
+	return q, nil
+}
+
+func (p *parser) parseColumn() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected column name, found %q", t.text)
+	}
+	p.advance()
+	name := t.text
+	if p.acceptSymbol(".") {
+		t2 := p.peek()
+		if t2.kind != tokIdent {
+			return "", p.errf("expected column after %q.", name)
+		}
+		p.advance()
+		name = name + "." + t2.text
+	}
+	return name, nil
+}
+
+// boolExpr is the parser's intermediate boolean AST, later flattened to DNF.
+type boolExpr struct {
+	op    string // "term", "and", "or", "not"
+	term  algebra.Term
+	left  *boolExpr
+	right *boolExpr
+}
+
+func (p *parser) parseOr() (*boolExpr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolExpr{op: "or", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*boolExpr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolExpr{op: "and", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (*boolExpr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &boolExpr{op: "not", left: inner}, nil
+	}
+	if p.acceptSymbol("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptSymbol(")") {
+			return nil, p.errf("expected )")
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (*boolExpr, error) {
+	col, err := p.parseColumn()
+	if err != nil {
+		return nil, err
+	}
+	// IN / NOT IN
+	negated := false
+	if p.acceptKeyword("NOT") {
+		negated = true
+		if err := p.expectKeyword("IN"); err != nil {
+			return nil, err
+		}
+	} else if p.acceptKeyword("IN") {
+		// fallthrough to set parsing
+	} else {
+		t := p.peek()
+		if t.kind != tokSymbol {
+			return nil, p.errf("expected comparison operator, found %q", t.text)
+		}
+		var op algebra.Op
+		switch t.text {
+		case "=":
+			op = algebra.OpEQ
+		case "<>":
+			op = algebra.OpNE
+		case "<":
+			op = algebra.OpLT
+		case "<=":
+			op = algebra.OpLE
+		case ">":
+			op = algebra.OpGT
+		case ">=":
+			op = algebra.OpGE
+		default:
+			return nil, p.errf("expected comparison operator, found %q", t.text)
+		}
+		p.advance()
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &boolExpr{op: "term", term: algebra.NewTerm(col, op, v)}, nil
+	}
+	// Set membership.
+	if !p.acceptSymbol("(") {
+		return nil, p.errf("expected ( after IN")
+	}
+	var set []relation.Value
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, v)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if !p.acceptSymbol(")") {
+		return nil, p.errf("expected ) closing IN list")
+	}
+	op := algebra.OpIn
+	if negated {
+		op = algebra.OpNotIn
+	}
+	return &boolExpr{op: "term", term: algebra.NewSetTerm(col, op, set)}, nil
+}
+
+func (p *parser) parseLiteral() (relation.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return relation.Str(t.text), nil
+	case tokNumber:
+		p.advance()
+		if !strings.ContainsAny(t.text, ".eE") {
+			i, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return relation.Int(i), nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return relation.Value{}, p.errf("bad numeric literal %q", t.text)
+		}
+		return relation.Float(f), nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return relation.Bool(true), nil
+		case "FALSE":
+			p.advance()
+			return relation.Bool(false), nil
+		case "NULL":
+			p.advance()
+			return relation.Null(), nil
+		}
+	}
+	return relation.Value{}, p.errf("expected literal, found %q", t.text)
+}
+
+// toDNF flattens the boolean AST into algebra's DNF predicate. NOT is pushed
+// down to the term level first (De Morgan), then AND distributes over OR.
+func toDNF(e *boolExpr) (algebra.Predicate, error) {
+	n, err := pushNot(e, false)
+	if err != nil {
+		return nil, err
+	}
+	return distribute(n), nil
+}
+
+func pushNot(e *boolExpr, neg bool) (*boolExpr, error) {
+	switch e.op {
+	case "term":
+		if !neg {
+			return e, nil
+		}
+		t := e.term
+		t.Op = t.Op.Negate()
+		return &boolExpr{op: "term", term: t}, nil
+	case "not":
+		return pushNot(e.left, !neg)
+	case "and", "or":
+		l, err := pushNot(e.left, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pushNot(e.right, neg)
+		if err != nil {
+			return nil, err
+		}
+		op := e.op
+		if neg { // De Morgan
+			if op == "and" {
+				op = "or"
+			} else {
+				op = "and"
+			}
+		}
+		return &boolExpr{op: op, left: l, right: r}, nil
+	default:
+		return nil, fmt.Errorf("sql: internal: unknown boolean node %q", e.op)
+	}
+}
+
+func distribute(e *boolExpr) algebra.Predicate {
+	switch e.op {
+	case "term":
+		return algebra.Predicate{algebra.Conjunct{e.term}}
+	case "or":
+		return append(distribute(e.left), distribute(e.right)...)
+	case "and":
+		l, r := distribute(e.left), distribute(e.right)
+		out := make(algebra.Predicate, 0, len(l)*len(r))
+		for _, lc := range l {
+			for _, rc := range r {
+				conj := make(algebra.Conjunct, 0, len(lc)+len(rc))
+				conj = append(conj, lc...)
+				conj = append(conj, rc...)
+				out = append(out, conj)
+			}
+		}
+		return out
+	default:
+		panic("sql: internal: distribute on " + e.op)
+	}
+}

@@ -1,0 +1,265 @@
+package tupleclass
+
+import (
+	"sort"
+)
+
+// Pair is an (STC, DTC) pair: an abstract single-tuple modification that
+// moves some tuple of class Src into class Dst (§5.1). EditCost is the
+// paper's minEdit(s, d): the number of attribute subsets changed.
+type Pair struct {
+	Src, Dst Class
+	EditCost int
+}
+
+// NewPair builds a pair and computes its edit cost.
+func NewPair(src, dst Class) Pair {
+	return Pair{Src: src, Dst: dst, EditCost: src.Distance(dst)}
+}
+
+// Key canonically encodes the pair.
+func (p Pair) Key() string { return p.Src.Key() + "->" + p.Dst.Key() }
+
+// ChangedAttrs returns the indexes (into Space.Attrs) of attributes whose
+// subset differs between Src and Dst.
+func (p Pair) ChangedAttrs() []int {
+	var out []int
+	for i := range p.Src {
+		if p.Src[i] != p.Dst[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Lemma 5.1 case codes: the effect of one modified tuple on one query's
+// result. caseReplace applies only when the modification touches a projected
+// attribute; otherwise the removed and added projected values coincide
+// (x = x') and the result is unchanged (caseNone).
+const (
+	caseNone    = 0 // neither old nor new tuple matches, or x = x'
+	caseAdd     = 1 // new tuple enters the result
+	caseRemove  = 2 // old tuple leaves the result
+	caseReplace = 3 // result tuple x replaced by x'
+)
+
+// CaseOf computes the Lemma 5.1 case of pair p for query qi. For queries
+// with set semantics (DISTINCT), removals may be masked by surviving
+// duplicates, so the symbolic model conservatively treats caseRemove as
+// caseNone and caseReplace as caseAdd — the paper's §6.1 "second approach",
+// which distinguishes queries through inserted values only. The concrete
+// partition computed after concretization remains exact either way.
+func (s *Space) CaseOf(p Pair, qi int) uint8 {
+	srcM, dstM := s.Matches(p.Src, qi), s.Matches(p.Dst, qi)
+	projChanged := false
+	for _, a := range p.ChangedAttrs() {
+		if s.projected[qi][a] {
+			projChanged = true
+			break
+		}
+	}
+	distinct := s.Queries[qi].Distinct
+	switch {
+	case !srcM && !dstM:
+		return caseNone
+	case !srcM && dstM:
+		return caseAdd
+	case srcM && !dstM:
+		if distinct {
+			return caseNone
+		}
+		return caseRemove
+	default: // both match
+		if !projChanged {
+			return caseNone
+		}
+		if distinct {
+			return caseAdd
+		}
+		return caseReplace
+	}
+}
+
+// ReplaceCost returns the cost of a caseReplace effect of pair p on query
+// qi: the number of changed attributes that are projected by qi (each is one
+// in-place result-tuple modification).
+func (s *Space) ReplaceCost(p Pair, qi int) int {
+	n := 0
+	for _, a := range p.ChangedAttrs() {
+		if s.projected[qi][a] {
+			n++
+		}
+	}
+	return n
+}
+
+// PartitionOf symbolically partitions the candidate queries by their
+// predicted result on a database modified according to the given pairs: two
+// queries land in the same block exactly when every pair affects them the
+// same way. It returns the per-block query indexes, deterministically
+// ordered, plus the per-block case vectors.
+func (s *Space) PartitionOf(pairs []Pair) ([][]int, [][]uint8) {
+	type block struct {
+		queries []int
+		cases   []uint8
+	}
+	byKey := make(map[string]*block)
+	order := make([]string, 0, 4)
+	for qi := range s.Queries {
+		cases := make([]uint8, len(pairs))
+		for pi, p := range pairs {
+			cases[pi] = s.CaseOf(p, qi)
+		}
+		k := string(cases)
+		b := byKey[k]
+		if b == nil {
+			b = &block{cases: cases}
+			byKey[k] = b
+			order = append(order, k)
+		}
+		b.queries = append(b.queries, qi)
+	}
+	sort.Strings(order)
+	groups := make([][]int, len(order))
+	caseVecs := make([][]uint8, len(order))
+	for i, k := range order {
+		groups[i] = byKey[k].queries
+		caseVecs[i] = byKey[k].cases
+	}
+	return groups, caseVecs
+}
+
+// PartitionSizes returns just the block sizes of PartitionOf (the input to
+// the balance score).
+func (s *Space) PartitionSizes(pairs []Pair) []int {
+	groups, _ := s.PartitionOf(pairs)
+	sizes := make([]int, len(groups))
+	for i, g := range groups {
+		sizes[i] = len(g)
+	}
+	return sizes
+}
+
+// SymbolicResultEdits predicts minEdit(R, Rᵢ) for each partition block: an
+// added or removed result tuple costs the arity of R (insert/delete); a
+// replaced tuple costs the number of modified projected attributes. The
+// projection is taken from the block's first query (all candidate queries
+// of a QFE session share ℓ, per §5).
+func (s *Space) SymbolicResultEdits(pairs []Pair, arityR int) ([]int, [][]int) {
+	groups, caseVecs := s.PartitionOf(pairs)
+	edits := make([]int, len(groups))
+	for bi, cases := range caseVecs {
+		qi := groups[bi][0]
+		total := 0
+		for pi, c := range cases {
+			switch c {
+			case caseAdd, caseRemove:
+				total += arityR
+			case caseReplace:
+				for _, a := range pairs[pi].ChangedAttrs() {
+					if s.projected[qi][a] {
+						total++
+					}
+				}
+			}
+		}
+		edits[bi] = total
+	}
+	return edits, groups
+}
+
+// IndistinguishableGroups clusters queries whose match bit agrees on every
+// subset combination reachable by modifications — i.e. queries with equal
+// truth tables over the whole class space. Such queries produce identical
+// results on every database whose values stay within the probed partitions,
+// so QFE merges them up front and reports the group (§2: QFE terminates
+// when one query — here, one equivalence class — remains).
+//
+// Two queries' truth tables can differ only on the attributes either of
+// them mentions, so equivalence is decided pairwise over the joint class
+// space of the *pair's* attributes — exponential only in the pair's
+// attribute count, never in the whole space's. Pairs whose joint space
+// exceeds maxCombos are conservatively treated as distinguishable; if they
+// are in fact equivalent the database generator discovers it later via
+// ErrNoSplit, so correctness is unaffected.
+func (s *Space) IndistinguishableGroups(maxCombos int) [][]int {
+	if maxCombos <= 0 {
+		maxCombos = 100000
+	}
+	// Group by representative: truth-table equality is transitive, so
+	// comparing against one representative per group suffices.
+	var groups [][]int
+	for qi := range s.Queries {
+		placed := false
+		for gi := range groups {
+			if s.equivalentPair(groups[gi][0], qi, maxCombos) {
+				groups[gi] = append(groups[gi], qi)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{qi})
+		}
+	}
+	sort.SliceStable(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return groups
+}
+
+// queryParts returns the partition indexes referenced by query qi.
+func (s *Space) queryParts(qi int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, conj := range s.programs[qi] {
+		for _, ref := range conj {
+			if !seen[ref.part] {
+				seen[ref.part] = true
+				out = append(out, ref.part)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// equivalentPair reports whether queries qi and qj agree on every class of
+// the joint space of their own predicate attributes. It returns false
+// (distinguishable) when that space exceeds maxCombos.
+func (s *Space) equivalentPair(qi, qj, maxCombos int) bool {
+	partSet := map[int]bool{}
+	for _, p := range s.queryParts(qi) {
+		partSet[p] = true
+	}
+	for _, p := range s.queryParts(qj) {
+		partSet[p] = true
+	}
+	parts := make([]int, 0, len(partSet))
+	for p := range partSet {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+
+	combos := 1
+	for _, p := range parts {
+		combos *= len(s.Parts[p].Subsets)
+		if combos > maxCombos {
+			return false
+		}
+	}
+	c := make(Class, len(s.Parts)) // irrelevant positions stay 0
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(parts) {
+			return s.Matches(c, qi) == s.Matches(c, qj)
+		}
+		p := parts[i]
+		for sub := range s.Parts[p].Subsets {
+			c[p] = sub
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}

@@ -1,0 +1,229 @@
+// Package tupleclass implements the paper's tuple-class abstraction (§5.1):
+// for each selection-predicate attribute A, the domain of A is partitioned
+// into the minimum collection of disjoint subsets P_QC(A) such that every
+// selection predicate in QC is constant on each subset; a tuple class is one
+// choice of subset per attribute. Tuple classes let the database generator
+// reason symbolically about the effect of a modification — every query
+// either matches all tuples of a class or none (the paper's key property) —
+// and source/destination class pairs (STC, DTC) describe single-tuple
+// modifications abstractly.
+package tupleclass
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"qfe/internal/algebra"
+	"qfe/internal/relation"
+)
+
+// Subset is one block of an attribute's domain partition. All values in the
+// block satisfy exactly the same set of predicate terms (Sig).
+type Subset struct {
+	// Rep is the representative value used when a modification moves a
+	// tuple into this subset. Reps are drawn from the active domain when
+	// possible so modified databases look realistic (the paper follows
+	// Olston et al. in preferring realistic data).
+	Rep relation.Value
+	// Sig[i] is the truth value of the partition's i-th term on this block.
+	Sig []bool
+	// FromActive records whether Rep occurs in the joined relation.
+	FromActive bool
+	// Fresh marks a synthesized categorical value that does not occur
+	// anywhere in the data (used by the §6.1 set-semantics strategy).
+	Fresh bool
+}
+
+// Partition is the domain partition P_QC(A) of one attribute.
+type Partition struct {
+	Attr string // qualified column name in the joined schema
+	Col  int    // column index in the joined schema
+	Kind relation.Kind
+	// Terms are the deduplicated predicate terms over this attribute, in
+	// canonical (Key) order.
+	Terms    []algebra.Term
+	Subsets  []Subset
+	sigIndex map[string]int
+}
+
+// SubsetOf returns the index of the subset containing v, computed from v's
+// term signature. It returns -1 only for signatures outside the probed
+// space, which cannot happen for values of the joined relation or reps.
+func (p *Partition) SubsetOf(v relation.Value) int {
+	sig := p.signature(v)
+	if i, ok := p.sigIndex[sigKey(sig)]; ok {
+		return i
+	}
+	return -1
+}
+
+func (p *Partition) signature(v relation.Value) []bool {
+	sig := make([]bool, len(p.Terms))
+	for i, t := range p.Terms {
+		sig[i] = t.Matches(v)
+	}
+	return sig
+}
+
+func sigKey(sig []bool) string {
+	b := make([]byte, len(sig))
+	for i, s := range sig {
+		if s {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// String renders the partition for debugging: attr and subset reps.
+func (p *Partition) String() string {
+	parts := make([]string, len(p.Subsets))
+	for i, s := range p.Subsets {
+		tag := ""
+		if s.Fresh {
+			tag = "*"
+		}
+		parts[i] = s.Rep.String() + tag
+	}
+	return fmt.Sprintf("%s{%s}", p.Attr, strings.Join(parts, " | "))
+}
+
+// buildPartition constructs P_QC(A) for one attribute from the deduplicated
+// terms over it and the attribute's active domain in the joined relation.
+func buildPartition(attr string, col int, kind relation.Kind,
+	terms []algebra.Term, active []relation.Value) *Partition {
+
+	p := &Partition{Attr: attr, Col: col, Kind: kind, Terms: terms,
+		sigIndex: make(map[string]int)}
+
+	// Probe values: active-domain values first (so representatives are
+	// realistic), then synthetic probes covering every elementary region
+	// induced by the term constants.
+	probes := make([]relation.Value, 0, len(active)*2)
+	probes = append(probes, active...)
+	synth := syntheticProbes(kind, terms, active)
+	probes = append(probes, synth...)
+
+	freshFrom := len(active) + len(synth) // probes from here on are "fresh"
+	if kind == relation.KindString {
+		probes = append(probes, freshValue(attr, terms, probes))
+	}
+
+	for i, v := range probes {
+		sig := p.signature(v)
+		k := sigKey(sig)
+		if _, seen := p.sigIndex[k]; seen {
+			continue
+		}
+		p.sigIndex[k] = len(p.Subsets)
+		p.Subsets = append(p.Subsets, Subset{
+			Rep:        v,
+			Sig:        sig,
+			FromActive: i < len(active),
+			Fresh:      i >= freshFrom,
+		})
+	}
+	return p
+}
+
+// termConstants extracts every constant mentioned by the terms (scalar
+// constants and IN-set members).
+func termConstants(terms []algebra.Term) []relation.Value {
+	var out []relation.Value
+	for _, t := range terms {
+		if t.Op == algebra.OpIn || t.Op == algebra.OpNotIn {
+			out = append(out, t.Set...)
+		} else {
+			out = append(out, t.Const)
+		}
+	}
+	return out
+}
+
+// syntheticProbes generates values covering every region of the attribute
+// domain delimited by the term constants. For numeric attributes: the
+// constants themselves, midpoints between consecutive constants, and values
+// beyond both extremes. For categorical attributes: the constants.
+func syntheticProbes(kind relation.Kind, terms []algebra.Term, active []relation.Value) []relation.Value {
+	consts := termConstants(terms)
+	if !kind.Numeric() {
+		return consts
+	}
+	// Sorted distinct constant magnitudes.
+	fs := make([]float64, 0, len(consts))
+	seen := map[float64]bool{}
+	for _, c := range consts {
+		if !c.Kind.Numeric() {
+			continue
+		}
+		f := c.AsFloat()
+		if !seen[f] {
+			seen[f] = true
+			fs = append(fs, f)
+		}
+	}
+	sort.Float64s(fs)
+	var out []relation.Value
+	mk := func(f float64) relation.Value {
+		if kind == relation.KindInt {
+			return relation.Int(int64(f))
+		}
+		return relation.Float(f)
+	}
+	if len(fs) == 0 {
+		return nil
+	}
+	if kind == relation.KindInt {
+		// Integer probes: around each constant and inside each gap.
+		add := func(i int64) { out = append(out, relation.Int(i)) }
+		for _, f := range fs {
+			fl := int64(math.Floor(f))
+			add(fl - 1)
+			add(fl)
+			add(fl + 1)
+			cl := int64(math.Ceil(f))
+			if cl != fl {
+				add(cl)
+				add(cl + 1)
+			}
+		}
+		for i := 0; i+1 < len(fs); i++ {
+			// One probe strictly inside each gap, when an integer exists.
+			lo, hi := math.Floor(fs[i])+1, math.Ceil(fs[i+1])-1
+			if lo <= hi {
+				add(int64(lo))
+			}
+		}
+		return out
+	}
+	// Float probes: the constants, gap midpoints, and beyond the extremes.
+	for _, f := range fs {
+		out = append(out, mk(f))
+	}
+	for i := 0; i+1 < len(fs); i++ {
+		out = append(out, mk((fs[i]+fs[i+1])/2))
+	}
+	out = append(out, mk(fs[0]-1), mk(fs[len(fs)-1]+1))
+	return out
+}
+
+// freshValue synthesizes a string value guaranteed not to collide with any
+// probe, representing "a value outside the active domain" (§6.1's insert-
+// style distinguishing strategy needs these).
+func freshValue(attr string, terms []algebra.Term, taken []relation.Value) relation.Value {
+	used := make(map[string]bool, len(taken))
+	for _, v := range taken {
+		used[v.Key()] = true
+	}
+	base := "novel_" + strings.ReplaceAll(attr, ".", "_")
+	for i := 0; ; i++ {
+		cand := relation.Str(fmt.Sprintf("%s_%d", base, i))
+		if !used[cand.Key()] {
+			return cand
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package tupleclass
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qfe/internal/algebra"
+	"qfe/internal/relation"
+)
+
+// Class identifies one tuple class: the subset index chosen for each
+// predicate attribute (aligned with Space.Parts). Attributes without
+// predicates are irrelevant to query membership and are not part of the
+// class (the paper's classes range only over P_QC(A) of predicate
+// attributes).
+type Class []int
+
+// Key returns a canonical encoding usable as a map key.
+func (c Class) Key() string {
+	var b strings.Builder
+	for i, s := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
+	return b.String()
+}
+
+// Equal reports whether two classes coincide.
+func (c Class) Equal(d Class) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the class.
+func (c Class) Clone() Class {
+	d := make(Class, len(c))
+	copy(d, c)
+	return d
+}
+
+// Distance returns the Hamming distance between two classes — the paper's
+// minEdit(s, d) for an (STC, DTC) pair: one attribute modification per
+// differing subset.
+func (c Class) Distance(d Class) int {
+	n := 0
+	for i := range c {
+		if c[i] != d[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// termRef locates a term inside the space: partition index and term index
+// within that partition.
+type termRef struct{ part, term int }
+
+// Space ties together the joined relation, the candidate queries, and the
+// per-attribute domain partitions; it answers "does class C match query Q"
+// in O(|predicate|) using precompiled term references.
+type Space struct {
+	Joined  *relation.Relation
+	Queries []*algebra.Query
+	// Attrs lists the selection-predicate attributes (sorted, deduplicated
+	// across all queries); Parts is aligned with it.
+	Attrs []string
+	Parts []*Partition
+
+	// programs[q] holds, per conjunct of query q, the refs of its terms.
+	programs [][][]termRef
+	// projected[q][i] reports whether Attrs[i] occurs in query q's
+	// projection list (needed for the x = x' collapse of Lemma 5.1).
+	projected [][]bool
+}
+
+// NewSpace builds the tuple-class space for a joined relation and candidate
+// query set. Every query predicate attribute must be a column of the joined
+// relation.
+func NewSpace(joined *relation.Relation, queries []*algebra.Query) (*Space, error) {
+	s := &Space{Joined: joined, Queries: queries}
+
+	// Collect terms per attribute, deduplicated by canonical key.
+	termsByAttr := make(map[string]map[string]algebra.Term)
+	for _, q := range queries {
+		for _, t := range q.Pred.Terms() {
+			m := termsByAttr[t.Attr]
+			if m == nil {
+				m = make(map[string]algebra.Term)
+				termsByAttr[t.Attr] = m
+			}
+			m[t.Key()] = t
+		}
+	}
+	s.Attrs = make([]string, 0, len(termsByAttr))
+	for a := range termsByAttr {
+		s.Attrs = append(s.Attrs, a)
+	}
+	sort.Strings(s.Attrs)
+
+	attrIdx := make(map[string]int, len(s.Attrs))
+	for i, a := range s.Attrs {
+		attrIdx[a] = i
+	}
+
+	s.Parts = make([]*Partition, len(s.Attrs))
+	for i, a := range s.Attrs {
+		col := joined.Schema.IndexOf(a)
+		if col < 0 {
+			return nil, fmt.Errorf("tupleclass: predicate attribute %q not in joined schema", a)
+		}
+		terms := make([]algebra.Term, 0, len(termsByAttr[a]))
+		keys := make([]string, 0, len(termsByAttr[a]))
+		for k := range termsByAttr[a] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			terms = append(terms, termsByAttr[a][k])
+		}
+		s.Parts[i] = buildPartition(a, col, joined.Schema[col].Type, terms, joined.ActiveDomain(a))
+	}
+
+	// Compile query predicates into term references.
+	s.programs = make([][][]termRef, len(queries))
+	s.projected = make([][]bool, len(queries))
+	for qi, q := range queries {
+		prog := make([][]termRef, len(q.Pred))
+		for ci, conj := range q.Pred {
+			refs := make([]termRef, len(conj))
+			for ti, t := range conj {
+				pi := attrIdx[t.Attr]
+				found := -1
+				key := t.Key()
+				for j, pt := range s.Parts[pi].Terms {
+					if pt.Key() == key {
+						found = j
+						break
+					}
+				}
+				if found < 0 {
+					return nil, fmt.Errorf("tupleclass: internal: term %s not registered", t)
+				}
+				refs[ti] = termRef{part: pi, term: found}
+			}
+			prog[ci] = refs
+		}
+		s.programs[qi] = prog
+
+		proj := make([]bool, len(s.Attrs))
+		for _, col := range q.Projection {
+			if i, ok := attrIdx[col]; ok {
+				proj[i] = true
+			}
+		}
+		s.projected[qi] = proj
+	}
+	return s, nil
+}
+
+// ClassOf maps a joined tuple to its tuple class.
+func (s *Space) ClassOf(t relation.Tuple) (Class, error) {
+	c := make(Class, len(s.Parts))
+	for i, p := range s.Parts {
+		sub := p.SubsetOf(t[p.Col])
+		if sub < 0 {
+			return nil, fmt.Errorf("tupleclass: value %s of %s falls outside the probed partition",
+				t[p.Col], p.Attr)
+		}
+		c[i] = sub
+	}
+	return c, nil
+}
+
+// Matches reports whether every tuple of class c satisfies query qi — the
+// defining property of tuple classes: the answer is the same for all tuples
+// of the class.
+func (s *Space) Matches(c Class, qi int) bool {
+	prog := s.programs[qi]
+	if len(prog) == 0 {
+		return true // empty predicate is TRUE
+	}
+	for _, conj := range prog {
+		ok := true
+		for _, ref := range conj {
+			if !s.Parts[ref.part].Subsets[c[ref.part]].Sig[ref.term] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchVector returns the per-query match bits for a class; two queries are
+// indistinguishable by any single-tuple modification space exactly when all
+// classes give them equal bits.
+func (s *Space) MatchVector(c Class) []bool {
+	v := make([]bool, len(s.Queries))
+	for qi := range s.Queries {
+		v[qi] = s.Matches(c, qi)
+	}
+	return v
+}
+
+// SourceClass groups the joined tuples belonging to one tuple class — a
+// source-tuple class (STC) with its inhabitants.
+type SourceClass struct {
+	Class Class
+	Key   string
+	Rows  []int // joined-tuple indexes, ascending
+}
+
+// SourceClasses maps every joined tuple to its class and returns the
+// occupied classes sorted by key (deterministic enumeration order for
+// Algorithm 3).
+func (s *Space) SourceClasses() ([]SourceClass, error) {
+	byKey := make(map[string]*SourceClass)
+	for i, t := range s.Joined.Tuples {
+		c, err := s.ClassOf(t)
+		if err != nil {
+			return nil, err
+		}
+		k := c.Key()
+		sc := byKey[k]
+		if sc == nil {
+			sc = &SourceClass{Class: c, Key: k}
+			byKey[k] = sc
+		}
+		sc.Rows = append(sc.Rows, i)
+	}
+	out := make([]SourceClass, 0, len(byKey))
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, *byKey[k])
+	}
+	return out, nil
+}
+
+// EnumerateClassesAt enumerates destination classes at exactly Hamming
+// distance dist from src, in deterministic order, invoking yield for each.
+// Enumeration stops early when yield returns false. This generates the DTC
+// candidates of Algorithm 3's i-th round.
+func (s *Space) EnumerateClassesAt(src Class, dist int, yield func(Class) bool) {
+	n := len(s.Parts)
+	if dist <= 0 || dist > n {
+		return
+	}
+	positions := make([]int, 0, dist)
+	var rec func(start int) bool
+	current := src.Clone()
+	rec = func(start int) bool {
+		if len(positions) == dist {
+			return yield(current.Clone())
+		}
+		for p := start; p < n; p++ {
+			if n-p < dist-len(positions) {
+				break
+			}
+			positions = append(positions, p)
+			for sub := range s.Parts[p].Subsets {
+				if sub == src[p] {
+					continue
+				}
+				current[p] = sub
+				if !rec(p + 1) {
+					return false
+				}
+			}
+			current[p] = src[p]
+			positions = positions[:len(positions)-1]
+		}
+		return true
+	}
+	rec(0)
+}
+
+// NumPredicateAttrs returns n, the number of distinct selection-predicate
+// attributes (the upper bound of Algorithm 3's outer loop).
+func (s *Space) NumPredicateAttrs() int { return len(s.Attrs) }
+
+// MaxSubsets returns k, the largest |P_QC(A)| over the predicate attributes
+// (used in the paper's O(m·kⁿ) complexity discussion and by tests).
+func (s *Space) MaxSubsets() int {
+	k := 0
+	for _, p := range s.Parts {
+		if len(p.Subsets) > k {
+			k = len(p.Subsets)
+		}
+	}
+	return k
+}
