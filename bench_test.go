@@ -10,6 +10,7 @@ package qfe
 // (who dominates, how costs scale) are what EXPERIMENTS.md compares.
 
 import (
+	"runtime"
 	"testing"
 
 	"qfe/internal/dbgen"
@@ -145,6 +146,7 @@ func BenchmarkMicroSkylinePairs(b *testing.B) {
 	}
 	opts := dbgen.DefaultOptions()
 	opts.Budget = Budget{MaxPairs: 100000}
+	opts.Cache = nil // measure uncached evaluation; BenchmarkMicroEvalCache covers warm runs
 	gen, err := dbgen.New(d, j, qc, r, opts)
 	if err != nil {
 		b.Fatal(err)
@@ -165,6 +167,7 @@ func BenchmarkMicroFullSession(b *testing.B) {
 	}
 	cfg := DefaultSessionConfig()
 	cfg.Gen.Budget = Budget{MaxPairs: 100000}
+	cfg.Gen.Cache = nil // measure uncached sessions; BenchmarkMicroEvalCache covers warm runs
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := NewSession(d, r, qc, feedback.WorstCase{}, cfg)
@@ -175,6 +178,122 @@ func BenchmarkMicroFullSession(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMicroSessionParallelism compares complete winnowing sessions on
+// the scientific scenario at Parallelism = 1 (the legacy serial path) and
+// Parallelism = GOMAXPROCS. Outcomes are identical (asserted by
+// internal/core's parallel tests); only wall-clock should move. Caches are
+// disabled so the comparison isolates the worker pools.
+func BenchmarkMicroSessionParallelism(b *testing.B) {
+	sc, err := experiments.ScientificScenario("Q1", 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultSessionConfig()
+				cfg.Gen.Budget = Budget{MaxPairs: 100000}
+				cfg.Parallelism = bc.parallelism
+				cfg.Gen.Cache = nil
+				s, err := NewSession(sc.DB, sc.R, sc.QC, feedback.WorstCase{}, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroAlg4Parallelism isolates Algorithm 4 (the Table 5 hot path)
+// on an artificially enlarged skyline, serial vs all-cores.
+func BenchmarkMicroAlg4Parallelism(b *testing.B) {
+	sc, err := experiments.ScientificScenario("Q1", 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := Join(sc.DB, sc.QC[0].Tables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := dbgen.DefaultOptions()
+			opts.Budget = Budget{MaxPairs: 100000}
+			opts.Parallelism = bc.parallelism
+			opts.Cache = nil
+			opts.MaxFrontier = 512
+			opts.MaxSetsEvaluated = 200000
+			gen, err := dbgen.New(sc.DB, j, sc.QC, sc.R, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, stats := gen.SkylinePairs()
+			sp := gen.EnumerateScoredPairs(400)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sets := gen.PickSubsets(sp, stats.X); len(sets) == 0 {
+					b.Fatal("no candidate sets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroEvalCache measures candidate evaluation against a cold and
+// a warm result cache: the warm path is what every winnowing round after
+// the first — and every sweep re-run — pays.
+func BenchmarkMicroEvalCache(b *testing.B) {
+	sc, err := experiments.ScientificScenario("Q1", 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := Join(sc.DB, sc.QC[0].Tables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newGen := func(b *testing.B, cache *EvalCache) {
+		opts := dbgen.DefaultOptions()
+		opts.Budget = Budget{MaxPairs: 100000}
+		opts.Cache = cache
+		if _, err := dbgen.New(sc.DB, j, sc.QC, sc.R, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("nocache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			newGen(b, nil) // evaluation alone, no hashing or Put overhead
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			newGen(b, NewEvalCache(4096)) // fresh cache: all misses + Puts
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := NewEvalCache(4096)
+		newGen(b, cache) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			newGen(b, cache)
+		}
+	})
 }
 
 // BenchmarkMicroMinEdit measures the Hungarian-based relation edit

@@ -46,7 +46,7 @@ func main() {
 		// The study follows a known target; make sure it competes.
 		present := false
 		for _, q := range qc {
-			if q.Fingerprint() == target.Fingerprint() {
+			if q.Key() == target.Key() {
 				present = true
 				break
 			}

@@ -1,0 +1,3 @@
+module qfe
+
+go 1.21

@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -29,11 +30,23 @@ func (q *Query) JoinSchemaKey() string {
 	return strings.Join(ts, "⋈")
 }
 
-// Fingerprint canonically encodes the whole query (join schema, projection,
-// normalised predicate, semantics) for deduplication.
-func (q *Query) Fingerprint() string {
+// Key canonically encodes the whole query (join schema, projection,
+// normalised predicate, semantics). Equal keys mean structurally identical
+// queries, so Key is what exact deduplication compares.
+func (q *Query) Key() string {
 	return q.JoinSchemaKey() + "\x03" + strings.Join(q.Projection, ",") +
 		"\x03" + q.Pred.Key() + "\x03" + fmt.Sprint(q.Distinct)
+}
+
+// Fingerprint returns a 64-bit structural hash of the query — FNV-1a over
+// the canonical Key, covering the join schema, the projection list, the
+// normalised predicate and the bag/set semantics flag. It is the query half
+// of the evaluation-cache key (see internal/evalcache) and a compact
+// identity for equality checks; exact-dedup paths keep comparing Key.
+func (q *Query) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(q.Key()))
+	return h.Sum64()
 }
 
 // Clone deep-copies the query.

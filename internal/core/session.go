@@ -35,6 +35,14 @@ type Config struct {
 	// truth-table enumeration).
 	MergeEquivalent bool
 	MaxEquivClasses int
+	// Parallelism sets the worker count for the session's parallel loops —
+	// the equivalence-class truth-table enumeration here and, unless
+	// Gen.Parallelism overrides it, the Database Generator's candidate
+	// evaluation, skyline enumeration and Algorithm 4 scoring. 0 selects
+	// GOMAXPROCS; 1 forces the legacy serial path, which parallel runs
+	// reproduce exactly whenever the δ budget does not truncate (see
+	// dbgen.Options.Parallelism).
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's defaults (β = 1, scaled δ).
@@ -117,6 +125,9 @@ func NewSession(d *db.Database, r *relation.Relation, qc []*algebra.Query,
 	if cfg.MaxEquivClasses <= 0 {
 		cfg.MaxEquivClasses = 200000
 	}
+	if cfg.Gen.Parallelism == 0 {
+		cfg.Gen.Parallelism = cfg.Parallelism
+	}
 	return &Session{DB: d, R: r, QC: qc, Oracle: oracle, Config: cfg,
 		joins: map[string]*db.Joined{}}, nil
 }
@@ -173,18 +184,19 @@ func (s *Session) runGroup(qc []*algebra.Query, out *Outcome) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		eq := space.IndistinguishableGroups(s.Config.MaxEquivClasses)
+		eq := space.IndistinguishableGroupsParallel(s.Config.MaxEquivClasses, s.Config.Parallelism)
 		reps = reps[:0:0]
 		for _, grp := range eq {
 			rep := qc[grp[0]]
 			reps = append(reps, rep)
+			k := rep.Key()
 			for _, qi := range grp {
-				members[rep.Fingerprint()] = append(members[rep.Fingerprint()], qc[qi])
+				members[k] = append(members[k], qc[qi])
 			}
 		}
 	} else {
 		for _, q := range qc {
-			members[q.Fingerprint()] = []*algebra.Query{q}
+			members[q.Key()] = []*algebra.Query{q}
 		}
 	}
 
@@ -266,7 +278,7 @@ func (s *Session) runGroup(qc []*algebra.Query, out *Outcome) (bool, error) {
 func (s *Session) finish(out *Outcome, reps []*algebra.Query, members map[string][]*algebra.Query) {
 	var remaining []*algebra.Query
 	for _, rep := range reps {
-		ms := members[rep.Fingerprint()]
+		ms := members[rep.Key()]
 		if len(ms) == 0 {
 			ms = []*algebra.Query{rep}
 		}

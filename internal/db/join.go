@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"qfe/internal/relation"
 )
@@ -33,6 +34,18 @@ type Joined struct {
 	// fromBase[table][row] lists joined-tuple indexes that include that base
 	// row; rows joining nothing are absent.
 	fromBase map[string]map[int][]int
+
+	hashOnce sync.Once
+	hash     uint64
+}
+
+// ContentHash returns the content hash of the joined relation, computed
+// lazily once — a Joined is immutable after Join returns, and all winnowing
+// rounds of a session share it, so the hash doubles as the "database
+// version" half of the evaluation-cache key.
+func (j *Joined) ContentHash() uint64 {
+	j.hashOnce.Do(func() { j.hash = j.Rel.Hash64() })
+	return j.hash
 }
 
 // tableIndex returns the position of a table in the join order, or -1.

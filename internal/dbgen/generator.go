@@ -21,6 +21,8 @@ import (
 	"qfe/internal/cost"
 	"qfe/internal/db"
 	"qfe/internal/editdist"
+	"qfe/internal/evalcache"
+	"qfe/internal/par"
 	"qfe/internal/relation"
 	"qfe/internal/tupleclass"
 )
@@ -74,6 +76,18 @@ type Options struct {
 	// concretize before giving up (alternatives are needed when a set's
 	// concrete side effects destroy its predicted partition).
 	MaxCandidateSets int
+	// Parallelism sets the worker count for the generator's parallel loops:
+	// candidate evaluation, skyline (STC, DTC) enumeration, Algorithm 4 set
+	// scoring and the concrete partitioning. 0 selects GOMAXPROCS; 1 forces
+	// the legacy serial path, whose results every parallel path reproduces
+	// exactly whenever the δ budget does not truncate enumeration (time-based
+	// budgets are inherently machine-dependent either way; see Budget).
+	Parallelism int
+	// Cache, when non-nil, memoises candidate evaluations keyed by
+	// (query fingerprint, joined-relation content hash), so repeated rounds
+	// of one session — and repeated sessions over the same data, as in the
+	// β/δ sweeps — skip re-executing unchanged candidates.
+	Cache *evalcache.Cache
 }
 
 // DefaultOptions mirrors the paper's defaults: β = 1, δ = 1s scaled to our
@@ -85,6 +99,7 @@ func DefaultOptions() Options {
 		MaxFrontier:      64,
 		MaxSetsEvaluated: 50000,
 		MaxCandidateSets: 8,
+		Cache:            evalcache.Default(),
 	}
 }
 
@@ -121,12 +136,8 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 	}
 	g := &Generator{DB: d, Joined: joined, Space: space, Queries: queries, R: r, Opts: opts}
 	g.baseResults = make([]*relation.Relation, len(queries))
-	for i, q := range queries {
-		res, err := q.EvaluateOnJoined(joined.Rel)
-		if err != nil {
-			return nil, err
-		}
-		g.baseResults[i] = res
+	if err := g.evaluateBase(); err != nil {
+		return nil, err
 	}
 	g.srcClasses, err = space.SourceClasses()
 	if err != nil {
@@ -137,6 +148,41 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 		g.srcRows[sc.Key] = sc.Rows
 	}
 	return g, nil
+}
+
+// evaluateBase computes Q(D) for every candidate on the shared join — the
+// per-round evaluation the winnowing loop repeats with a shrinking QC, so
+// nearly every round after the first is answered entirely from the cache.
+// Misses are evaluated concurrently; each query's work is independent and
+// all inputs (join, predicates) are read-only.
+func (g *Generator) evaluateBase() error {
+	dbHash := g.Joined.ContentHash()
+	errs := make([]error, len(g.Queries))
+	par.Do(len(g.Queries), par.Workers(g.Opts.Parallelism), func(i int) {
+		q := g.Queries[i]
+		key := evalcache.Key{Query: q.Fingerprint(), DB: dbHash}
+		if g.Opts.Cache != nil {
+			if res, ok := g.Opts.Cache.Get(key); ok {
+				if res.Name != q.Name {
+					// Fingerprints are structural: the same query cached from
+					// another session may carry a different label.
+					res = &relation.Relation{Name: q.Name, Schema: res.Schema, Tuples: res.Tuples}
+				}
+				g.baseResults[i] = res
+				return
+			}
+		}
+		res, err := q.EvaluateOnJoined(g.Joined.Rel)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		g.baseResults[i] = res
+		if g.Opts.Cache != nil {
+			g.Opts.Cache.Put(key, res)
+		}
+	})
+	return errors.Join(errs...)
 }
 
 // Result is the outcome of one Database-Generator invocation, carrying both
@@ -217,41 +263,59 @@ func (g *Generator) Generate() (*Result, error) {
 }
 
 // partitionConcrete evaluates every query incrementally against the edits
-// and groups them by result fingerprint.
+// and groups them by result fingerprint. The per-query delta computation and
+// the per-block result materialisation + edit-distance costing both run on
+// the configured worker pool; grouping itself stays serial in query order,
+// so the partition (and therefore everything downstream) is byte-identical
+// to the Parallelism = 1 path.
 func (g *Generator) partitionConcrete(edits []db.CellEdit) ([][]int, []*relation.Relation, []int, error) {
 	modified, err := g.modifiedJoinedRows(edits)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	groups := map[string][]int{}
-	order := []string{}
+	workers := par.Workers(g.Opts.Parallelism)
+
 	deltas := make([]algebra.ResultDelta, len(g.Queries))
-	for qi, q := range g.Queries {
+	fps := make([]string, len(g.Queries))
+	errs := make([]error, len(g.Queries))
+	par.Do(len(g.Queries), workers, func(qi int) {
+		q := g.Queries[qi]
 		delta, err := q.DeltaOnJoined(g.Joined.Rel, modified)
 		if err != nil {
-			return nil, nil, nil, err
+			errs[qi] = err
+			return
 		}
 		deltas[qi] = delta
-		fp := q.DeltaFingerprint(g.baseResults[qi], delta)
+		fps[qi] = q.DeltaFingerprint(g.baseResults[qi], delta)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, nil, err
+	}
+
+	groups := map[string][]int{}
+	order := []string{}
+	for qi := range g.Queries {
+		fp := fps[qi]
 		if _, ok := groups[fp]; !ok {
 			order = append(order, fp)
 		}
 		groups[fp] = append(groups[fp], qi)
 	}
-	parts := make([][]int, 0, len(order))
-	results := make([]*relation.Relation, 0, len(order))
-	resultCosts := make([]int, 0, len(order))
-	for _, fp := range order {
-		qs := groups[fp]
-		parts = append(parts, qs)
+
+	parts := make([][]int, len(order))
+	results := make([]*relation.Relation, len(order))
+	resultCosts := make([]int, len(order))
+	par.Do(len(order), workers, func(bi int) {
+		qs := groups[order[bi]]
+		parts[bi] = qs
 		rep := qs[0]
 		ri := algebra.ApplyDelta(g.baseResults[rep], deltas[rep])
 		if g.Queries[rep].Distinct {
 			ri = ri.Distinct()
 		}
-		results = append(results, ri)
-		resultCosts = append(resultCosts, editdist.MinEdit(g.R, ri))
-	}
+		results[bi] = ri
+		resultCosts[bi] = editdist.MinEdit(g.R, ri)
+	})
 	return parts, results, resultCosts, nil
 }
 

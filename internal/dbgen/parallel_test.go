@@ -1,0 +1,149 @@
+package dbgen
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"qfe/internal/evalcache"
+)
+
+// withParallelism returns deterministic (pair-budgeted) options at the given
+// worker count, each run with a private cache so hits from one run cannot
+// mask evaluation differences in the other.
+func withParallelism(p int) Options {
+	o := testOptions()
+	o.Parallelism = p
+	o.Cache = evalcache.New(1024)
+	return o
+}
+
+// TestSkylinePairsParallelMatchesSerial asserts that the parallel skyline
+// enumeration reproduces the serial one exactly — same pairs in the same
+// order, same statistics — when the budget does not truncate. Run under
+// -race this also exercises the worker pool for data races.
+func TestSkylinePairsParallelMatchesSerial(t *testing.T) {
+	d, j, qc, r := example11(t)
+	serial, err := New(d, j, qc, r, withParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spS, statsS := serial.SkylinePairs()
+
+	for _, p := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		parallel, err := New(d, j, qc, r, withParallelism(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spP, statsP := parallel.SkylinePairs()
+		if !reflect.DeepEqual(spS, spP) {
+			t.Errorf("parallelism %d: skyline differs\nserial:   %v\nparallel: %v", p, spS, spP)
+		}
+		if statsS != statsP {
+			t.Errorf("parallelism %d: stats differ: serial %+v, parallel %+v", p, statsS, statsP)
+		}
+	}
+}
+
+// TestPickSubsetsParallelMatchesSerial asserts Algorithm 4 returns the same
+// ranked candidate sets at every parallelism level, including when the
+// evaluation budget truncates the search mid-level.
+func TestPickSubsetsParallelMatchesSerial(t *testing.T) {
+	d, j, qc, r := example11(t)
+	for _, maxEval := range []int{0, 7, 2} { // 0 = uncapped; small caps truncate
+		serial, err := New(d, j, qc, r, withParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Opts.MaxSetsEvaluated = maxEval
+		spS, statsS := serial.SkylinePairs()
+		setsS := serial.PickSubsets(spS, statsS.X)
+
+		parallel, err := New(d, j, qc, r, withParallelism(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel.Opts.MaxSetsEvaluated = maxEval
+		spP, statsP := parallel.SkylinePairs()
+		setsP := parallel.PickSubsets(spP, statsP.X)
+
+		if !reflect.DeepEqual(setsS, setsP) {
+			t.Errorf("maxEval %d: candidate sets differ\nserial:   %+v\nparallel: %+v",
+				maxEval, setsS, setsP)
+		}
+	}
+}
+
+// TestGenerateParallelMatchesSerial runs the whole Algorithm 2 pipeline at
+// both parallelism settings and compares everything deterministic about the
+// result: edits, partition, result relations and costs.
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	d, j, qc, r := example11(t)
+	serial, err := New(d, j, qc, r, withParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := serial.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(d, j, qc, r, withParallelism(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, err := parallel.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resS.Edits, resP.Edits) {
+		t.Errorf("edits differ: %v vs %v", resS.Edits, resP.Edits)
+	}
+	if !reflect.DeepEqual(resS.Partition, resP.Partition) {
+		t.Errorf("partitions differ: %v vs %v", resS.Partition, resP.Partition)
+	}
+	if len(resS.Results) != len(resP.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(resS.Results), len(resP.Results))
+	}
+	for i := range resS.Results {
+		if resS.Results[i].Fingerprint() != resP.Results[i].Fingerprint() {
+			t.Errorf("result %d differs:\n%v\nvs\n%v", i, resS.Results[i], resP.Results[i])
+		}
+	}
+	if resS.DBCost != resP.DBCost || resS.ResultCost != resP.ResultCost {
+		t.Errorf("costs differ: (%d,%d) vs (%d,%d)",
+			resS.DBCost, resS.ResultCost, resP.DBCost, resP.ResultCost)
+	}
+}
+
+// TestEvaluateBaseUsesCache verifies that a second generator over the same
+// join and queries answers its base evaluations from the cache.
+func TestEvaluateBaseUsesCache(t *testing.T) {
+	d, j, qc, r := example11(t)
+	opts := testOptions()
+	opts.Cache = evalcache.New(256)
+	if _, err := New(d, j, qc, r, opts); err != nil {
+		t.Fatal(err)
+	}
+	before := opts.Cache.Stats()
+	if before.Hits != 0 {
+		t.Fatalf("unexpected hits on first build: %+v", before)
+	}
+	g2, err := New(d, j, qc, r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := opts.Cache.Stats()
+	if after.Hits < uint64(len(qc)) {
+		t.Errorf("second build hit %d times, want >= %d", after.Hits, len(qc))
+	}
+	// Cached results must still be correct.
+	for i, q := range qc {
+		direct, err := q.EvaluateOnJoined(j.Rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.baseResults[i].Fingerprint() != direct.Fingerprint() {
+			t.Errorf("cached base result for %s differs from direct evaluation", q.Name)
+		}
+	}
+}

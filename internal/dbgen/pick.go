@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"qfe/internal/cost"
+	"qfe/internal/par"
 	"qfe/internal/tupleclass"
 )
 
@@ -36,13 +37,16 @@ type evalCtx struct {
 	arityR int
 }
 
-func (g *Generator) newEvalCtx(sp []ScoredPair, x int) *evalCtx {
+func (g *Generator) newEvalCtx(sp []ScoredPair, x, workers int) *evalCtx {
 	ctx := &evalCtx{g: g, sp: sp, x: x, nq: len(g.Queries), arityR: g.R.Arity()}
 	ctx.codes = make([][]uint8, len(sp))
 	ctx.repl = make([][]int, len(sp))
 	ctx.edit = make([]int, len(sp))
 	ctx.tables = make([][]string, len(sp))
-	for pi, p := range sp {
+	// Per-pair slots are written by disjoint indexes, and CaseOf/ReplaceCost
+	// only read the space, so building the cache parallelises trivially.
+	par.Do(len(sp), workers, func(pi int) {
+		p := sp[pi]
 		ctx.edit[pi] = p.Pair.EditCost
 		codes := make([]uint8, ctx.nq)
 		repl := make([]int, ctx.nq)
@@ -59,7 +63,7 @@ func (g *Generator) newEvalCtx(sp []ScoredPair, x int) *evalCtx {
 		for t := range tset {
 			ctx.tables[pi] = append(ctx.tables[pi], t)
 		}
-	}
+	})
 	return ctx
 }
 
@@ -129,11 +133,20 @@ func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
 // MaxFrontier additionally caps each level by balance, bounding the
 // O(2^|SP|) worst case without changing behaviour on the small frontiers
 // observed in practice (paper §5.4, Table 4).
+//
+// Each level runs in three phases: a serial enumeration that lists the
+// unique feasible candidate sets in the legacy evaluation order (up to the
+// remaining evaluation budget), a parallel scoring pass over that list —
+// evaluate is a pure function of the precomputed evalCtx — and a serial
+// replay that applies the pruning rule and ranking in the listed order. The
+// output is therefore byte-identical to the serial algorithm at every
+// Parallelism setting, including when MaxSetsEvaluated truncates the search.
 func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 	if len(sp) == 0 {
 		return nil
 	}
-	ctx := g.newEvalCtx(sp, x)
+	workers := par.Workers(g.Opts.Parallelism)
+	ctx := g.newEvalCtx(sp, x, workers)
 	best := newTopK(g.Opts.MaxCandidateSets, g.Opts.Strategy)
 	evaluated := 0
 	maxEval := g.Opts.MaxSetsEvaluated
@@ -141,31 +154,55 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 		maxEval = 50000
 	}
 
+	type evalResult struct {
+		cost    float64
+		balance float64
+		subsets int
+	}
+	scoreAll := func(sets [][]int) []evalResult {
+		out := make([]evalResult, len(sets))
+		par.Do(len(sets), workers, func(k int) {
+			c, b, n := ctx.evaluate(sets[k])
+			out[k] = evalResult{cost: c, balance: b, subsets: n}
+		})
+		return out
+	}
+
 	// Steps 1–8: singletons.
 	type frontierEntry struct {
 		indices []int
 		balance float64
 	}
-	frontier := make([]frontierEntry, 0, len(sp))
-	for i, p := range sp {
-		if !g.feasible([]int{i}, sp) {
-			continue
+	var singles [][]int
+	for i := range sp {
+		if g.feasible([]int{i}, sp) {
+			singles = append(singles, []int{i})
 		}
-		c, b, k := ctx.evaluate([]int{i})
+	}
+	evals := scoreAll(singles)
+	frontier := make([]frontierEntry, 0, len(singles))
+	for k, indices := range singles {
+		ev := evals[k]
 		evaluated++
-		best.add(CandidateSet{Indices: []int{i}, Pairs: []tupleclass.Pair{p.Pair},
-			Balance: b, Cost: c, Subsets: k})
-		frontier = append(frontier, frontierEntry{indices: []int{i}, balance: b})
+		best.add(CandidateSet{Indices: indices, Pairs: pairsAt(sp, indices),
+			Balance: ev.balance, Cost: ev.cost, Subsets: ev.subsets})
+		frontier = append(frontier, frontierEntry{indices: indices, balance: ev.balance})
 	}
 
 	// Steps 9–21: grow sets while balance improves.
 	for level := 2; level <= len(sp) && len(frontier) > 0 && evaluated < maxEval; level++ {
-		var next []frontierEntry
+		// Phase 1: list this level's unique feasible children in evaluation
+		// order, recording the balance of the first parent reaching each
+		// (later parents are deduplicated away, as in the serial sweep).
+		type child struct {
+			indices       []int
+			parentBalance float64
+		}
+		var pending []child
 		seen := map[string]bool{}
+		budget := maxEval - evaluated
+	enumerate:
 		for _, op := range frontier {
-			if evaluated >= maxEval {
-				break
-			}
 			inOp := map[int]bool{}
 			for _, i := range op.indices {
 				inOp[i] = true
@@ -184,16 +221,29 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 				if !g.feasible(indices, sp) {
 					continue
 				}
-				c, b, k := ctx.evaluate(indices)
-				evaluated++
-				if b < op.balance { // strict improvement required (step 15)
-					next = append(next, frontierEntry{indices: indices, balance: b})
-					best.add(CandidateSet{Indices: indices, Pairs: pairsAt(sp, indices),
-						Balance: b, Cost: c, Subsets: k})
+				pending = append(pending, child{indices: indices, parentBalance: op.balance})
+				if len(pending) >= budget {
+					break enumerate
 				}
-				if evaluated >= maxEval {
-					break
-				}
+			}
+		}
+
+		// Phase 2: score the children concurrently.
+		sets := make([][]int, len(pending))
+		for k := range pending {
+			sets[k] = pending[k].indices
+		}
+		evals := scoreAll(sets)
+
+		// Phase 3: replay serially — prune, rank, grow the next frontier.
+		var next []frontierEntry
+		for k := range pending {
+			ch, ev := pending[k], evals[k]
+			evaluated++
+			if ev.balance < ch.parentBalance { // strict improvement required (step 15)
+				next = append(next, frontierEntry{indices: ch.indices, balance: ev.balance})
+				best.add(CandidateSet{Indices: ch.indices, Pairs: pairsAt(sp, ch.indices),
+					Balance: ev.balance, Cost: ev.cost, Subsets: ev.subsets})
 			}
 		}
 		if g.Opts.MaxFrontier > 0 && len(next) > g.Opts.MaxFrontier {

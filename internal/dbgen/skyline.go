@@ -2,9 +2,11 @@ package dbgen
 
 import (
 	"math"
+	"sync/atomic"
 	"time"
 
 	"qfe/internal/cost"
+	"qfe/internal/par"
 	"qfe/internal/tupleclass"
 )
 
@@ -33,43 +35,110 @@ type SkylineStats struct {
 //
 // The most balanced *binary* partitioning observed supplies x (Lemma 3.1)
 // for the iteration-count estimate used by Algorithm 4's cost evaluations.
+//
+// With Parallelism != 1 the source classes of each level are enumerated
+// concurrently and their per-class skylines merged in class order, which
+// yields exactly the serial skyline (same pairs, same order, same stats)
+// whenever the budget does not truncate enumeration. Under a truncating
+// budget the cut-off point depends on scheduling, just as a time-based
+// budget already depends on the machine; Parallelism = 1 remains the
+// deterministic reference.
 func (g *Generator) SkylinePairs() ([]ScoredPair, SkylineStats) {
+	workers := par.Workers(g.Opts.Parallelism)
+	if workers <= 1 || len(g.srcClasses) <= 1 {
+		return g.skylineSerial()
+	}
+	return g.skylineParallel(workers)
+}
+
+// skylineAcc accumulates Algorithm 3's running-minimum state. The serial
+// sweep keeps one accumulator for the whole enumeration; the parallel path
+// keeps one per (level, source class) and folds them into a level
+// accumulator in class order. Both paths score pairs through the same
+// observe method, so the selection rule cannot diverge between them.
+type skylineAcc struct {
+	pairs      []ScoredPair // pairs at minBalance, in enumeration order
+	minBalance float64
+	bestBinary float64 // best balance among binary partitions seen
+	x          int     // Lemma 3.1's x, from the first bestBinary achiever
+	enumerated int
+}
+
+func newSkylineAcc() skylineAcc {
+	return skylineAcc{minBalance: math.Inf(1), bestBinary: math.Inf(1)}
+}
+
+// observe applies one enumerated pair: keep it if it ties the running
+// minimum balance, restart the skyline if it strictly improves it, and
+// extract x from the most balanced binary partition seen so far.
+func (a *skylineAcc) observe(p tupleclass.Pair, sizes []int, b float64) {
+	a.enumerated++
+	if len(sizes) == 2 && b < a.bestBinary {
+		a.bestBinary = b
+		x := sizes[0]
+		if sizes[1] < x {
+			x = sizes[1]
+		}
+		a.x = x
+	}
+	switch {
+	case b < a.minBalance:
+		a.minBalance = b
+		a.pairs = []ScoredPair{{Pair: p, Balance: b, Sizes: sizes}}
+	case b == a.minBalance && !math.IsInf(b, 1):
+		a.pairs = append(a.pairs, ScoredPair{Pair: p, Balance: b, Sizes: sizes})
+	}
+}
+
+// merge folds a class-local accumulator into the level accumulator, in
+// class order — the same rule observe applies pair by pair: a class whose
+// local minimum strictly improves the running minimum resets the level
+// skyline, a tie appends in order.
+func (a *skylineAcc) merge(local *skylineAcc) {
+	a.enumerated += local.enumerated
+	if local.bestBinary < a.bestBinary {
+		a.bestBinary = local.bestBinary
+		a.x = local.x
+	}
+	switch {
+	case local.minBalance < a.minBalance:
+		a.minBalance = local.minBalance
+		a.pairs = append(a.pairs[:0:0], local.pairs...)
+	case local.minBalance == a.minBalance && !math.IsInf(local.minBalance, 1):
+		a.pairs = append(a.pairs, local.pairs...)
+	}
+}
+
+// drain returns the pairs collected since the last drain (one level's
+// skyline) and clears them, keeping the running minima for the next level.
+func (a *skylineAcc) drain() []ScoredPair {
+	pairs := a.pairs
+	a.pairs = nil
+	return pairs
+}
+
+// score computes one (src, dst) pair's single-pair partition statistics.
+func (g *Generator) score(src, dst tupleclass.Class) (tupleclass.Pair, []int, float64) {
+	p := tupleclass.NewPair(src, dst)
+	sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
+	return p, sizes, cost.Balance(sizes)
+}
+
+func (g *Generator) skylineSerial() ([]ScoredPair, SkylineStats) {
 	start := time.Now()
 	var (
-		sp         []ScoredPair
-		minBalance = math.Inf(1)
-		stats      SkylineStats
-		bestBinary = math.Inf(1)
+		sp    []ScoredPair
+		stats SkylineStats
+		acc   = newSkylineAcc()
 	)
 	n := g.Space.NumPredicateAttrs()
 	for i := 1; i <= n; i++ {
-		var spi []ScoredPair
 		done := false
 		for _, sc := range g.srcClasses {
 			g.Space.EnumerateClassesAt(sc.Class, i, func(dst tupleclass.Class) bool {
-				stats.Enumerated++
-				p := tupleclass.NewPair(sc.Class, dst)
-				sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
-				b := cost.Balance(sizes)
-				if len(sizes) == 2 {
-					bb := b
-					if bb < bestBinary {
-						bestBinary = bb
-						x := sizes[0]
-						if sizes[1] < x {
-							x = sizes[1]
-						}
-						stats.X = x
-					}
-				}
-				switch {
-				case b < minBalance:
-					minBalance = b
-					spi = []ScoredPair{{Pair: p, Balance: b, Sizes: sizes}}
-				case b == minBalance && !math.IsInf(b, 1):
-					spi = append(spi, ScoredPair{Pair: p, Balance: b, Sizes: sizes})
-				}
-				if g.Opts.Budget.exceeded(start, stats.Enumerated) {
+				p, sizes, b := g.score(sc.Class, dst)
+				acc.observe(p, sizes, b)
+				if g.Opts.Budget.exceeded(start, acc.enumerated) {
 					done = true
 					return false
 				}
@@ -79,12 +148,57 @@ func (g *Generator) SkylinePairs() ([]ScoredPair, SkylineStats) {
 				break
 			}
 		}
-		sp = append(sp, spi...)
+		sp = append(sp, acc.drain()...)
 		if done {
 			stats.Truncated = true
 			break
 		}
 	}
+	stats.Enumerated = acc.enumerated
+	stats.X = acc.x
+	return sp, stats
+}
+
+func (g *Generator) skylineParallel(workers int) ([]ScoredPair, SkylineStats) {
+	start := time.Now()
+	var (
+		sp         []ScoredPair
+		stats      SkylineStats
+		acc        = newSkylineAcc()
+		enumerated atomic.Int64
+		exhausted  atomic.Bool
+	)
+	n := g.Space.NumPredicateAttrs()
+	for i := 1; i <= n; i++ {
+		locals := make([]skylineAcc, len(g.srcClasses))
+		par.Do(len(g.srcClasses), workers, func(ci int) {
+			local := &locals[ci]
+			*local = newSkylineAcc()
+			if exhausted.Load() {
+				return
+			}
+			g.Space.EnumerateClassesAt(g.srcClasses[ci].Class, i, func(dst tupleclass.Class) bool {
+				total := enumerated.Add(1)
+				p, sizes, b := g.score(g.srcClasses[ci].Class, dst)
+				local.observe(p, sizes, b)
+				if g.Opts.Budget.exceeded(start, int(total)) {
+					exhausted.Store(true)
+					return false
+				}
+				return !exhausted.Load()
+			})
+		})
+		for ci := range locals {
+			acc.merge(&locals[ci])
+		}
+		sp = append(sp, acc.drain()...)
+		if exhausted.Load() {
+			stats.Truncated = true
+			break
+		}
+	}
+	stats.Enumerated = acc.enumerated
+	stats.X = acc.x
 	return sp, stats
 }
 

@@ -1,0 +1,197 @@
+// Package evalcache memoises candidate-query evaluations across winnowing
+// rounds and across experiment sweeps.
+//
+// The QFE loop (paper Algorithm 1) re-evaluates every surviving candidate
+// query against the session's joined relation at the start of every round,
+// and the β-sweep / δ-sweep experiments (Tables 2, 3 and 6) re-run whole
+// sessions over the same (D, R, QC) instance with different knob settings.
+// All of those evaluations are pure functions of (query, data), so the
+// engine keys a result cache by the pair
+//
+//	(algebra.Query.Fingerprint(), content hash of the evaluated relation)
+//
+// and skips re-execution on a hit. The cache is sharded to keep lock
+// contention negligible when the generator evaluates candidates from many
+// goroutines, and size-bounded with per-shard LRU eviction so sweeps over
+// thousands of perturbed candidates cannot grow it without bound.
+//
+// Cached relations are shared between callers and MUST be treated as
+// immutable; every producer in this repository already returns fresh
+// relations from evaluation and never mutates results afterwards.
+package evalcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"qfe/internal/relation"
+)
+
+// Key identifies one memoised evaluation.
+type Key struct {
+	// Query is the structural fingerprint of the evaluated query
+	// (algebra.Query.Fingerprint()).
+	Query uint64
+	// DB is the version of the data the query was evaluated against — a
+	// content hash of the joined relation (relation.Relation.Hash64), so
+	// logically-identical databases hit the same entries even across
+	// separately-constructed sessions.
+	DB uint64
+}
+
+const numShards = 32
+
+// shard is one lock domain: a map for O(1) lookup plus an LRU list for
+// bounded eviction.
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     list.List // front = most recently used; values are *entry
+	weight  int       // sum of entry weights currently held
+}
+
+type entry struct {
+	key    Key
+	res    *relation.Relation
+	weight int
+}
+
+// entryWeight charges an entry by its tuple count so large results (the
+// baseball joins, the enlarged Table 5 scenarios) consume proportionally
+// more of the capacity than empty or single-tuple ones — the bound tracks
+// memory, not entry count. Every entry costs at least 1.
+func entryWeight(res *relation.Relation) int {
+	if res == nil || len(res.Tuples) == 0 {
+		return 1
+	}
+	return len(res.Tuples)
+}
+
+// Cache is a sharded, size-bounded evaluation cache. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	shards      [numShards]shard
+	maxPerShard int // per-shard weight budget (tuple-weighted)
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// New creates a cache bounded to roughly capacity tuple-weights: each entry
+// charges max(1, number of tuples) against the budget, so the bound tracks
+// memory rather than entry count. The budget is enforced per shard (rounded
+// up to a multiple of the shard count), and a single entry larger than a
+// whole shard's budget is still admitted — alone — so huge results keep
+// their round-over-round reuse. capacity <= 0 selects the default of 4096.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{maxPerShard: per}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+var (
+	defaultOnce  sync.Once
+	defaultCache *Cache
+)
+
+// Default returns the process-wide shared cache used by the default dbgen
+// and qbo configurations. Sharing one cache is what makes results flow
+// between the candidate generator, the per-round evaluations of a session,
+// and repeated sessions of a parameter sweep.
+func Default() *Cache {
+	defaultOnce.Do(func() { defaultCache = New(1 << 14) })
+	return defaultCache
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	// Mix both halves of the key; fingerprints are already well-mixed FNV
+	// hashes, so a xor-fold suffices for shard selection.
+	h := k.Query ^ (k.DB * 0x9e3779b97f4a7c15)
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached result for k, if present, promoting it to most
+// recently used. The returned relation must not be mutated.
+func (c *Cache) Get(k Key) (*relation.Relation, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.entries[k]
+	if ok {
+		s.lru.MoveToFront(el)
+		res := el.Value.(*entry).res
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return res, true
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores the result for k, evicting least-recently-used entries until
+// the shard's weight budget holds (the newest entry itself is never
+// evicted). Storing an existing key refreshes its value and recency.
+func (c *Cache) Put(k Key, res *relation.Relation) {
+	w := entryWeight(res)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		e := el.Value.(*entry)
+		s.weight += w - e.weight
+		e.res, e.weight = res, w
+		s.lru.MoveToFront(el)
+	} else {
+		s.entries[k] = s.lru.PushFront(&entry{key: k, res: res, weight: w})
+		s.weight += w
+	}
+	for s.weight > c.maxPerShard && s.lru.Len() > 1 {
+		oldest := s.lru.Back()
+		e := oldest.Value.(*entry)
+		s.lru.Remove(oldest)
+		delete(s.entries, e.key)
+		s.weight -= e.weight
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached results.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

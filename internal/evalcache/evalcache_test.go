@@ -1,0 +1,154 @@
+package evalcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qfe/internal/relation"
+)
+
+func rel(name string, v int64) *relation.Relation {
+	r := relation.New(name, relation.NewSchema("a", relation.KindInt))
+	r.Append(relation.NewTuple(v))
+	return r
+}
+
+func TestGetPutHitMiss(t *testing.T) {
+	c := New(64)
+	k := Key{Query: 1, DB: 2}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	want := rel("r", 7)
+	c.Put(k, want)
+	got, ok := c.Get(k)
+	if !ok || got != want {
+		t.Fatalf("Get = (%v, %v), want the stored relation", got, ok)
+	}
+	if _, ok := c.Get(Key{Query: 1, DB: 3}); ok {
+		t.Error("different DB version must miss")
+	}
+	if _, ok := c.Get(Key{Query: 9, DB: 2}); ok {
+		t.Error("different query fingerprint must miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 3 misses / 1 entry", st)
+	}
+}
+
+func TestPutRefreshesExistingKey(t *testing.T) {
+	c := New(64)
+	k := Key{Query: 1, DB: 1}
+	c.Put(k, rel("old", 1))
+	fresh := rel("new", 2)
+	c.Put(k, fresh)
+	if got, _ := c.Get(k); got != fresh {
+		t.Errorf("Put on existing key did not replace the value")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestEvictionIsBoundedAndLRU(t *testing.T) {
+	// Capacity 1 rounds up to one entry per shard; keys in the same shard
+	// therefore evict each other, oldest first.
+	c := New(1)
+	var a, b Key
+	a = Key{Query: 1, DB: 0}
+	found := false
+	for q := uint64(2); q < 4096; q++ {
+		b = Key{Query: q, DB: 0}
+		if c.shardFor(a) == c.shardFor(b) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no colliding shard pair found")
+	}
+	c.Put(a, rel("a", 1))
+	c.Put(b, rel("b", 2)) // evicts a (LRU)
+	if _, ok := c.Get(a); ok {
+		t.Error("a should have been evicted")
+	}
+	if _, ok := c.Get(b); !ok {
+		t.Error("b should survive")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+
+	// Recency: with two slots per shard, touching the older entry makes the
+	// other one the eviction victim.
+	c2 := New(64) // 2 entries per shard
+	keys := []Key{}
+	for q := uint64(0); len(keys) < 3; q++ {
+		k := Key{Query: q, DB: 0}
+		if len(keys) == 0 || c2.shardFor(k) == c2.shardFor(keys[0]) {
+			keys = append(keys, k)
+		}
+	}
+	c2.Put(keys[0], rel("k0", 0))
+	c2.Put(keys[1], rel("k1", 1))
+	c2.Get(keys[0])               // promote k0
+	c2.Put(keys[2], rel("k2", 2)) // shard full: evicts k1, the LRU
+	if _, ok := c2.Get(keys[0]); !ok {
+		t.Error("recently used entry must survive eviction")
+	}
+	if _, ok := c2.Get(keys[1]); ok {
+		t.Error("least recently used entry should have been evicted")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := New(128)
+	for i := 0; i < 10000; i++ {
+		c.Put(Key{Query: uint64(i), DB: 1}, rel(fmt.Sprint(i), int64(i)))
+	}
+	// Per-shard bound: ceil(128/32) = 4 entries across 32 shards.
+	if n := c.Len(); n > 128 {
+		t.Errorf("Len = %d, want <= 128", n)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("expected evictions under sustained inserts")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{Query: uint64(i % 97), DB: uint64(w % 3)}
+				if r, ok := c.Get(k); ok {
+					if r == nil {
+						t.Error("hit returned nil relation")
+						return
+					}
+					continue
+				}
+				c.Put(k, rel("r", int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+	if st.Entries > 256+32 { // per-shard rounding slack
+		t.Errorf("entries = %d exceeds bound", st.Entries)
+	}
+}
+
+func TestDefaultIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default must return the same cache")
+	}
+}

@@ -234,12 +234,12 @@ func UserStudy() (*TextTable, []UserStudyResult, error) {
 	return t, results, nil
 }
 
-// ensureTarget prepends the target query when no candidate is fingerprint-
-// equal to it.
+// ensureTarget prepends the target query when no candidate is structurally
+// equal to it (exact Key comparison, per the repo's dedup convention).
 func ensureTarget(qc []*algebra.Query, target *algebra.Query) []*algebra.Query {
-	fp := target.Fingerprint()
+	fp := target.Key()
 	for _, q := range qc {
-		if q.Fingerprint() == fp {
+		if q.Key() == fp {
 			return qc
 		}
 	}

@@ -295,10 +295,10 @@ func table6Pool() ([]*algebra.Query, *Scenario, error) {
 		return nil, nil, err
 	}
 	pool := []*algebra.Query{sc.Target}
-	seen := map[string]bool{sc.Target.Fingerprint(): true}
+	seen := map[string]bool{sc.Target.Key(): true}
 	for _, q := range sc.QC {
-		if !seen[q.Fingerprint()] {
-			seen[q.Fingerprint()] = true
+		if !seen[q.Key()] {
+			seen[q.Key()] = true
 			pool = append(pool, q)
 		}
 	}

@@ -1,0 +1,57 @@
+// Package par provides the tiny worker-pool primitive shared by the
+// engine's parallel loops. Every parallel path in the repository funnels
+// through Do so that the Parallelism knob has one semantics everywhere:
+// 0 selects runtime.GOMAXPROCS(0), 1 forces the legacy serial path (no
+// goroutines at all, loop order preserved), and n > 1 runs on n workers.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob to a concrete worker count.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Do runs fn(i) for every i in [0, n). With workers <= 1 (or n <= 1) it
+// degenerates to a plain serial loop in index order — the deterministic
+// reference path. Otherwise min(workers, n) goroutines pull indexes from a
+// shared atomic counter until the range is exhausted; fn must therefore be
+// safe to call concurrently, and callers that need deterministic output
+// collect per-index results and merge them in index order afterwards.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -20,7 +20,7 @@ import (
 func PerturbConstants(d *db.Database, r *relation.Relation, base []*algebra.Query, maxExtra int) ([]*algebra.Query, error) {
 	seen := map[string]bool{}
 	for _, q := range base {
-		seen[q.Fingerprint()] = true
+		seen[q.Key()] = true
 	}
 	var out []*algebra.Query
 
@@ -59,7 +59,7 @@ func PerturbConstants(d *db.Database, r *relation.Relation, base []*algebra.Quer
 					v := q.Clone()
 					v.Name = ""
 					v.Pred[ci][ti].Const = nc
-					fp := v.Fingerprint()
+					fp := v.Key()
 					if seen[fp] {
 						continue
 					}

@@ -20,6 +20,7 @@ import (
 
 	"qfe/internal/algebra"
 	"qfe/internal/db"
+	"qfe/internal/evalcache"
 	"qfe/internal/relation"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	// MaxGrowNodes budgets the conjunction-combination search per
 	// (join, projection) pair (0 = 100000).
 	MaxGrowNodes int
+	// Cache, when non-nil, memoises full candidate evaluations keyed by
+	// (query fingerprint, joined-relation content hash). Repeated Generate
+	// calls over the same (D, R) — e.g. the β/δ sweeps re-deriving the same
+	// scenario — then verify recurring candidates without re-executing them.
+	Cache *evalcache.Cache
 }
 
 // DefaultConfig returns a budget that yields candidate sets of the paper's
@@ -60,6 +66,7 @@ func DefaultConfig() Config {
 		MaxCandidates:         64,
 		MaxTermsPerAttrPool:   4,
 		MaxProjectionMappings: 3,
+		Cache:                 evalcache.Default(),
 	}
 }
 
@@ -122,17 +129,36 @@ func (g *generator) full() bool {
 }
 
 // emit verifies Q(D) = R by full evaluation and appends the query if new.
+// Evaluations route through the configured cache, so candidates recurring
+// across Generate calls on the same data verify without re-execution.
 func (g *generator) emit(j *db.Joined, tables []string, proj []string, pred algebra.Predicate) {
 	if g.full() {
 		return
 	}
 	q := &algebra.Query{Tables: tables, Projection: proj, Pred: pred}
-	fp := q.Fingerprint()
+	fp := q.Key()
 	if g.seen[fp] {
 		return
 	}
-	res, err := q.EvaluateOnJoined(j.Rel)
-	if err != nil || !res.BagEqual(g.r) {
+	var key evalcache.Key
+	if g.cfg.Cache != nil {
+		key = evalcache.Key{Query: q.Fingerprint(), DB: j.ContentHash()}
+	}
+	res, cached := (*relation.Relation)(nil), false
+	if g.cfg.Cache != nil {
+		res, cached = g.cfg.Cache.Get(key)
+	}
+	if !cached {
+		var err error
+		res, err = q.EvaluateOnJoined(j.Rel)
+		if err != nil {
+			return
+		}
+		if g.cfg.Cache != nil {
+			g.cfg.Cache.Put(key, res)
+		}
+	}
+	if !res.BagEqual(g.r) {
 		return
 	}
 	g.seen[fp] = true
@@ -147,7 +173,7 @@ func (g *generator) emitTrusted(tables, proj []string, pred algebra.Predicate) {
 		return
 	}
 	q := &algebra.Query{Tables: tables, Projection: proj, Pred: pred}
-	fp := q.Fingerprint()
+	fp := q.Key()
 	if g.seen[fp] {
 		return
 	}
@@ -186,7 +212,7 @@ func (g *generator) emitVerified(v *verifier, pred algebra.Predicate) {
 		return
 	}
 	q := &algebra.Query{Tables: v.tables, Projection: v.proj, Pred: pred}
-	fp := q.Fingerprint()
+	fp := q.Key()
 	if g.seen[fp] {
 		return
 	}

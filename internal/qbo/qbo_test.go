@@ -84,7 +84,7 @@ func TestGenerateDeduplicatesAndNames(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for i, q := range qs {
-		fp := q.Fingerprint()
+		fp := q.Key()
 		if seen[fp] {
 			t.Errorf("duplicate candidate %s", q)
 		}

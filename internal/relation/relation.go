@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -155,6 +156,26 @@ func (r *Relation) Fingerprint() string {
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, "\n")
+}
+
+// Hash64 returns a 64-bit FNV-1a content hash over the schema and the
+// tuples in stored order. It serves as the relation's version for the
+// evaluation cache: two relations with equal hashes hold the same tuples in
+// the same order under the same schema (modulo hash collisions, which at
+// 64 bits are negligible for the relation counts QFE handles). Unlike
+// Fingerprint it is order-sensitive and cheap to compare.
+func (r *Relation) Hash64() uint64 {
+	h := fnv.New64a()
+	for _, c := range r.Schema {
+		h.Write([]byte(c.Name))
+		h.Write([]byte{byte(c.Type), 0})
+	}
+	h.Write([]byte{0xff})
+	for _, t := range r.Tuples {
+		h.Write([]byte(t.Key()))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // SetFingerprint is Fingerprint under set semantics (duplicates collapsed).

@@ -2,6 +2,9 @@ package tupleclass
 
 import (
 	"sort"
+	"sync/atomic"
+
+	"qfe/internal/par"
 )
 
 // Pair is an (STC, DTC) pair: an abstract single-tuple modification that
@@ -183,22 +186,59 @@ func (s *Space) SymbolicResultEdits(pairs []Pair, arityR int) ([]int, [][]int) {
 // are in fact equivalent the database generator discovers it later via
 // ErrNoSplit, so correctness is unaffected.
 func (s *Space) IndistinguishableGroups(maxCombos int) [][]int {
+	return s.IndistinguishableGroupsParallel(maxCombos, 1)
+}
+
+// IndistinguishableGroupsParallel is IndistinguishableGroups with the
+// truth-table comparisons against the existing group representatives run on
+// a worker pool (parallelism 0 = GOMAXPROCS, 1 = serial). The serial sweep
+// places a query into the first (lowest-indexed) matching group, so the
+// parallel path evaluates all comparisons and then takes the minimum
+// matching index — byte-identical grouping, regardless of worker timing.
+// Workers may speculatively evaluate comparisons the serial sweep would
+// have skipped (those past the first match); the gi < best precheck prunes
+// checks started after a match lands, bounding the waste to roughly one
+// in-flight check per worker, paid on cores the serial path leaves idle.
+func (s *Space) IndistinguishableGroupsParallel(maxCombos, parallelism int) [][]int {
 	if maxCombos <= 0 {
 		maxCombos = 100000
 	}
+	workers := par.Workers(parallelism)
 	// Group by representative: truth-table equality is transitive, so
 	// comparing against one representative per group suffices.
 	var groups [][]int
 	for qi := range s.Queries {
-		placed := false
-		for gi := range groups {
-			if s.equivalentPair(groups[gi][0], qi, maxCombos) {
-				groups[gi] = append(groups[gi], qi)
-				placed = true
-				break
+		placed := -1
+		if workers > 1 && len(groups) > 1 {
+			best := atomic.Int64{}
+			best.Store(int64(len(groups)))
+			par.Do(len(groups), workers, func(gi int) {
+				if int64(gi) < best.Load() && s.equivalentPair(groups[gi][0], qi, maxCombos) {
+					// Keep the lowest matching index (CAS loop: several groups
+					// can match when the rep-vs-rep check was truncated by
+					// maxCombos and conservatively treated as distinct).
+					for {
+						cur := best.Load()
+						if int64(gi) >= cur || best.CompareAndSwap(cur, int64(gi)) {
+							break
+						}
+					}
+				}
+			})
+			if int(best.Load()) < len(groups) {
+				placed = int(best.Load())
+			}
+		} else {
+			for gi := range groups {
+				if s.equivalentPair(groups[gi][0], qi, maxCombos) {
+					placed = gi
+					break
+				}
 			}
 		}
-		if !placed {
+		if placed >= 0 {
+			groups[placed] = append(groups[placed], qi)
+		} else {
 			groups = append(groups, []int{qi})
 		}
 	}
