@@ -1,0 +1,124 @@
+// Command qfe-server serves Query-From-Examples winnowing sessions over an
+// HTTP/JSON API, turning the paper's interactive loop into a long-lived
+// service: each session holds one user mid-round; feedback requests step the
+// underlying state machine.
+//
+// API (see README.md for a curl transcript):
+//
+//	POST   /sessions                create a session from a built-in dataset
+//	                                ({"dataset":"demo"}) or from CSV/JSON
+//	                                tables and a result relation; responds
+//	                                with the first feedback round
+//	GET    /sessions/{id}           current round, or the outcome once done
+//	POST   /sessions/{id}/feedback  {"choice": i} — 0-based result index,
+//	                                -1 for "none of these"
+//	DELETE /sessions/{id}           abandon the session
+//	GET    /stats                   session/round counters + cache hit rate
+//
+// Sessions are evicted after -ttl of inactivity and capped at -max-sessions
+// live sessions (further creates get 429). With -state FILE, sessions are
+// snapshotted to FILE on SIGINT/SIGTERM and restored on the next start, so
+// in-flight sessions survive restarts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qfe/internal/core"
+	"qfe/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		ttl         = flag.Duration("ttl", 30*time.Minute, "evict sessions idle for longer than this")
+		maxSessions = flag.Int("max-sessions", 1024, "cap on live sessions (backpressure beyond)")
+		maxCand     = flag.Int("candidates", 32, "max candidate queries generated per session")
+		statePath   = flag.String("state", "", "snapshot file: restore on start, save on shutdown")
+		parallelism = flag.Int("parallelism", 0, "worker count per session (0 = all cores)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = *parallelism
+	m := service.New(service.Options{
+		TTL:         *ttl,
+		MaxSessions: *maxSessions,
+		Config:      cfg,
+	})
+
+	if *statePath != "" {
+		if f, err := os.Open(*statePath); err == nil {
+			n, errs := m.Load(f)
+			f.Close()
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "qfe-server: restore:", e)
+			}
+			fmt.Printf("qfe-server: restored %d session(s) from %s\n", n, *statePath)
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "qfe-server:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Background TTL sweep so idle sessions release capacity even when no
+	// requests arrive. -ttl <= 0 selects the manager's 30-minute default.
+	sweepEvery := *ttl / 4
+	if sweepEvery <= 0 {
+		sweepEvery = 30 * time.Minute / 4
+	}
+	go func() {
+		t := time.NewTicker(sweepEvery)
+		defer t.Stop()
+		for range t.C {
+			m.EvictExpired()
+		}
+	}()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(m, service.HandlerOptions{MaxCandidates: *maxCand}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		// Drain in-flight requests first, then snapshot: feedback served
+		// after the snapshot would otherwise be lost from the saved state.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "qfe-server: shutdown:", err)
+		}
+		cancel()
+		if *statePath != "" {
+			if f, err := os.Create(*statePath); err == nil {
+				if n, err := m.Save(f); err != nil {
+					fmt.Fprintln(os.Stderr, "qfe-server: save:", err)
+				} else {
+					fmt.Printf("qfe-server: saved %d session(s) to %s\n", n, *statePath)
+				}
+				f.Close()
+			} else {
+				fmt.Fprintln(os.Stderr, "qfe-server: save:", err)
+			}
+		}
+		close(done)
+	}()
+
+	fmt.Printf("qfe-server: listening on %s (ttl %s, max %d sessions)\n", *addr, *ttl, *maxSessions)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "qfe-server:", err)
+		os.Exit(1)
+	}
+	<-done
+}

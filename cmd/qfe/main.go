@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,12 +105,13 @@ func run(d *qfe.Database, r *qfe.Relation, maxCand int) {
 	fmt.Println("In each round, answer with the number of the result your intended")
 	fmt.Println("query would produce on the modified database (0 = none of them).")
 
-	s, err := qfe.NewSession(d, r, qc,
-		qfe.Interactive{In: os.Stdin, Out: os.Stdout}, qfe.DefaultSessionConfig())
+	// The CLI is a step-API client: each Start/Feedback call suspends the
+	// session on a round, exactly as a qfe-server client would see it.
+	s, err := qfe.NewStepSession(d, r, qc, qfe.DefaultSessionConfig())
 	if err != nil {
 		fatal(err)
 	}
-	out, err := s.Run()
+	out, err := drive(s, os.Stdin, os.Stdout)
 	if err != nil {
 		fatal(err)
 	}
@@ -126,6 +128,37 @@ func run(d *qfe.Database, r *qfe.Relation, maxCand int) {
 		fmt.Println("\nNone of the candidate queries matches your feedback.")
 		fmt.Println("Try increasing -candidates, or provide a richer example pair.")
 	}
+}
+
+// drive loops the pausable session against a human, one Start/Feedback step
+// per round — the same client loop a qfe-server front-end runs. The
+// presentation and input handling are the feedback module's Interactive
+// oracle, invoked per suspended round.
+func drive(s *qfe.Session, in io.Reader, w io.Writer) (*qfe.Outcome, error) {
+	round, err := s.Start()
+	if err != nil {
+		return nil, err
+	}
+	ui := qfe.Interactive{In: in, Out: w}
+	for round != nil {
+		choice, ok, err := ui.Choose(round.View)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			choice = qfe.NoneOfThese
+		}
+		var out *qfe.Outcome
+		round, out, err = s.Feedback(choice)
+		if err != nil {
+			return nil, err
+		}
+		if round == nil {
+			return out, nil
+		}
+	}
+	out, _ := s.Outcome()
+	return out, nil
 }
 
 func runDemo(maxCand int) {

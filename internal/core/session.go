@@ -7,6 +7,14 @@
 //
 // The driver also implements the §6.2 extension: candidates with different
 // join schemas are winnowed group by group, largest group first.
+//
+// The session is a pausable state machine: Start computes the first feedback
+// round and suspends; Feedback consumes a choice and either produces the next
+// round or the final Outcome. Run wires the machine to a feedback.Oracle and
+// drives it to completion — the blocking loop of the paper — while services
+// can hold many suspended sessions and step each one as user responses
+// arrive. A Session is not safe for concurrent use; callers that share one
+// across goroutines must serialize access (internal/service does).
 package core
 
 import (
@@ -99,6 +107,37 @@ type Outcome struct {
 	QueryGenTime time.Duration
 }
 
+// NoneOfThese is the Feedback choice meaning "none of the presented results
+// is correct" — the target query is outside the current candidate group
+// (Algorithm 1's unstated escape hatch, §2 / §6.2).
+const NoneOfThese = -1
+
+// Round is one suspended feedback round: the modified database D' (as edits
+// over D), the k distinct candidate results, and which queries produce each.
+// The caller inspects it, obtains a choice, and resumes with
+// Session.Feedback.
+type Round struct {
+	// Seq is the session-global round number, 1-based.
+	Seq int
+	// Iteration is the round number within the current join-schema group —
+	// the Iteration of the matching IterationStats entry.
+	Iteration int
+	// Group and NumGroups locate the current join-schema group (§6.2).
+	Group, NumGroups int
+	// View carries everything the round presents: D', its edits over D, the
+	// distinct results R₁..Rₖ and the query subsets producing them.
+	View feedback.View
+}
+
+// state tracks the session's position in its lifecycle.
+type state uint8
+
+const (
+	stateNew      state = iota // Start not yet called
+	stateAwaiting              // a Round is pending feedback
+	stateDone                  // outcome available (or session failed)
+)
+
 // Session drives Algorithm 1 for one (D, R, QC) instance.
 type Session struct {
 	DB     *db.Database
@@ -108,16 +147,45 @@ type Session struct {
 	Config Config
 
 	joins map[string]*db.Joined
+
+	// State machine.
+	state      state
+	fatal      error // terminal stepping failure; no outcome
+	started    time.Time
+	out        *Outcome
+	groupKeys  []string
+	groups     map[string][]*algebra.Query
+	gi         int // index into groupKeys
+	reps       []*algebra.Query
+	members    map[string][]*algebra.Query
+	groupIter  int
+	seq        int
+	pending    *Round
+	pendingRes *dbgen.Result
+	roundStart time.Time
 }
 
-// NewSession validates the inputs and prepares a session.
+// NewSession validates the inputs and prepares a session driven by an
+// oracle (via Run). For the step API alone, use NewStepSession.
 func NewSession(d *db.Database, r *relation.Relation, qc []*algebra.Query,
 	oracle feedback.Oracle, cfg Config) (*Session, error) {
-	if len(qc) == 0 {
-		return nil, errors.New("core: empty candidate set")
-	}
 	if oracle == nil {
 		return nil, errors.New("core: nil oracle")
+	}
+	s, err := NewStepSession(d, r, qc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Oracle = oracle
+	return s, nil
+}
+
+// NewStepSession validates the inputs and prepares a session to be driven
+// through the step API (Start / Feedback) without an oracle.
+func NewStepSession(d *db.Database, r *relation.Relation, qc []*algebra.Query,
+	cfg Config) (*Session, error) {
+	if len(qc) == 0 {
+		return nil, errors.New("core: empty candidate set")
 	}
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 64
@@ -128,168 +196,316 @@ func NewSession(d *db.Database, r *relation.Relation, qc []*algebra.Query,
 	if cfg.Gen.Parallelism == 0 {
 		cfg.Gen.Parallelism = cfg.Parallelism
 	}
-	return &Session{DB: d, R: r, QC: qc, Oracle: oracle, Config: cfg,
+	return &Session{DB: d, R: r, QC: qc, Config: cfg,
 		joins: map[string]*db.Joined{}}, nil
 }
 
-// Run executes Algorithm 1 and returns the outcome.
+// Run executes Algorithm 1 to completion against the session's Oracle and
+// returns the outcome. It is the blocking loop of the paper, re-expressed on
+// the step API: every round is produced by Start/Feedback exactly as a
+// stepping caller would see it.
 func (s *Session) Run() (*Outcome, error) {
-	start := time.Now()
-	out := &Outcome{}
-
-	// §6.2: group candidates by join schema, process larger groups first.
-	groups := map[string][]*algebra.Query{}
-	var keys []string
-	for _, q := range s.QC {
-		k := q.JoinSchemaKey()
-		if _, ok := groups[k]; !ok {
-			keys = append(keys, k)
-		}
-		groups[k] = append(groups[k], q)
+	if s.Oracle == nil {
+		return nil, errors.New("core: Run requires an oracle; use Start/Feedback")
 	}
-	sort.SliceStable(keys, func(i, j int) bool {
-		if len(groups[keys[i]]) != len(groups[keys[j]]) {
-			return len(groups[keys[i]]) > len(groups[keys[j]])
-		}
-		return keys[i] < keys[j]
-	})
-
-	for _, k := range keys {
-		found, err := s.runGroup(groups[k], out)
+	// Resume wherever the machine stands: fresh sessions start, restored
+	// mid-round sessions continue from their pending round, finished ones
+	// just report.
+	var round *Round
+	switch s.state {
+	case stateNew:
+		var err error
+		round, err = s.Start()
 		if err != nil {
 			return nil, err
 		}
-		if found {
-			out.Found = true
-			break
+	case stateAwaiting:
+		round = s.pending
+	case stateDone:
+		if s.fatal != nil {
+			return nil, fmt.Errorf("core: session failed: %w", s.fatal)
+		}
+		return s.out, nil
+	}
+	for round != nil {
+		choice, ok, err := s.Oracle.Choose(round.View)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			choice = NoneOfThese
+		} else if choice < 0 {
+			return nil, fmt.Errorf("core: oracle chose %d of %d results",
+				choice, len(round.View.Results))
+		}
+		round, _, err = s.Feedback(choice)
+		if err != nil {
+			return nil, err
 		}
 	}
-	out.TotalTime = time.Since(start)
+	out, done := s.Outcome()
+	if !done {
+		return nil, errors.New("core: internal: session stopped without outcome")
+	}
 	return out, nil
 }
 
-// runGroup winnows one join-schema group. It returns true when feedback
-// converged inside this group (target identified or provably ambiguous).
-func (s *Session) runGroup(qc []*algebra.Query, out *Outcome) (bool, error) {
-	joined, err := s.joinFor(qc[0])
+// Start begins the session and computes its first feedback round. A nil
+// Round means the session finished without needing feedback (single
+// candidate, or provably indistinguishable candidates); the result is then
+// available from Outcome.
+func (s *Session) Start() (*Round, error) {
+	if s.state != stateNew {
+		return nil, errors.New("core: session already started")
+	}
+	s.started = time.Now()
+	s.out = &Outcome{}
+	s.buildGroups()
+	round, err := s.advance()
 	if err != nil {
-		return false, err
+		s.fatal = err
+		s.state = stateDone
+		return nil, err
+	}
+	return round, nil
+}
+
+// buildGroups partitions QC by join schema, larger groups first (§6.2). It
+// is deterministic in QC, which lets Restore rebuild the grouping instead of
+// serializing it.
+func (s *Session) buildGroups() {
+	s.groups = map[string][]*algebra.Query{}
+	s.groupKeys = nil
+	for _, q := range s.QC {
+		k := q.JoinSchemaKey()
+		if _, ok := s.groups[k]; !ok {
+			s.groupKeys = append(s.groupKeys, k)
+		}
+		s.groups[k] = append(s.groups[k], q)
+	}
+	sort.SliceStable(s.groupKeys, func(i, j int) bool {
+		gi, gj := s.groups[s.groupKeys[i]], s.groups[s.groupKeys[j]]
+		if len(gi) != len(gj) {
+			return len(gi) > len(gj)
+		}
+		return s.groupKeys[i] < s.groupKeys[j]
+	})
+}
+
+// Feedback resumes a suspended session with the user's choice: an index into
+// the pending round's Results, or NoneOfThese. It returns the next round, or
+// (nil, outcome) when the session finished. An out-of-range choice is an
+// error and leaves the session suspended on the same round, so interactive
+// callers can retry.
+func (s *Session) Feedback(choice int) (*Round, *Outcome, error) {
+	switch s.state {
+	case stateNew:
+		return nil, nil, errors.New("core: session not started")
+	case stateDone:
+		if s.fatal != nil {
+			return nil, nil, fmt.Errorf("core: session failed: %w", s.fatal)
+		}
+		return nil, nil, errors.New("core: session already finished")
+	}
+	res := s.pendingRes
+	if choice != NoneOfThese && (choice < 0 || choice >= len(res.Partition)) {
+		return nil, nil, fmt.Errorf("core: oracle chose %d of %d results",
+			choice, len(res.Partition))
 	}
 
-	// Merge candidates that no reachable modification can distinguish.
-	members := map[string][]*algebra.Query{}
-	reps := qc
-	if s.Config.MergeEquivalent && len(qc) > 1 {
-		space, err := tupleclass.NewSpace(joined.Rel, qc)
-		if err != nil {
-			return false, err
+	stats := IterationStats{
+		Iteration:      s.groupIter,
+		NumQueries:     len(s.reps),
+		NumSubsets:     len(res.Partition),
+		SkylinePairs:   res.SkylinePairs,
+		Enumerated:     res.EnumeratedPairs,
+		ExecTime:       time.Since(s.roundStart),
+		Alg3Time:       res.Alg3Time,
+		Alg4Time:       res.Alg4Time,
+		ConcretizeTime: res.ConcretizeTime,
+		DBCost:         res.DBCost,
+		ResultCost:     res.ResultCost,
+		AvgResultCost:  res.AvgResultCost,
+	}
+	if choice == NoneOfThese {
+		// None of the presented results is correct: the target is not in
+		// this group (§2 / §6.2); stop winnowing it and move on.
+		s.out.Iterations = append(s.out.Iterations, stats)
+		s.out.TotalModCost += res.DBCost + res.ResultCost
+		s.reps, s.members = nil, nil
+		s.gi++
+	} else {
+		stats.ChosenSubset = choice
+		stats.ChosenSize = len(res.Partition[choice])
+		s.out.Iterations = append(s.out.Iterations, stats)
+		s.out.TotalModCost += res.DBCost + res.ResultCost
+		next := make([]*algebra.Query, 0, len(res.Partition[choice]))
+		for _, qi := range res.Partition[choice] {
+			next = append(next, s.reps[qi])
 		}
-		eq := space.IndistinguishableGroupsParallel(s.Config.MaxEquivClasses, s.Config.Parallelism)
-		reps = reps[:0:0]
-		for _, grp := range eq {
-			rep := qc[grp[0]]
-			reps = append(reps, rep)
-			k := rep.Key()
-			for _, qi := range grp {
-				members[k] = append(members[k], qc[qi])
+		s.reps = next
+	}
+	s.pending, s.pendingRes = nil, nil
+
+	round, err := s.advance()
+	if err != nil {
+		// The choice was consumed but the session cannot continue; it is
+		// terminally failed (not suspended — there is no round to retry).
+		s.fatal = err
+		s.state = stateDone
+		return nil, nil, err
+	}
+	if round != nil {
+		return round, nil, nil
+	}
+	return nil, s.out, nil
+}
+
+// Pending returns the round awaiting feedback, or nil.
+func (s *Session) Pending() *Round {
+	return s.pending
+}
+
+// Done reports whether the session has finished (including by failure).
+func (s *Session) Done() bool { return s.state == stateDone }
+
+// Err returns the fatal stepping error of a failed session, or nil.
+func (s *Session) Err() error { return s.fatal }
+
+// Outcome returns the final outcome once the session has finished. A
+// session that failed terminally (see Err) has no outcome.
+func (s *Session) Outcome() (*Outcome, bool) {
+	if s.state != stateDone || s.fatal != nil {
+		return nil, false
+	}
+	return s.out, true
+}
+
+// advance moves the state machine forward until a round needs feedback
+// (returning it) or the session completes (returning nil).
+func (s *Session) advance() (*Round, error) {
+	for {
+		if s.reps == nil {
+			if s.gi >= len(s.groupKeys) {
+				// Every group exhausted without convergence: not found.
+				s.complete()
+				return nil, nil
+			}
+			if err := s.beginGroup(s.groups[s.groupKeys[s.gi]]); err != nil {
+				return nil, err
 			}
 		}
-	} else {
-		for _, q := range qc {
-			members[q.Key()] = []*algebra.Query{q}
+		if len(s.reps) <= 1 {
+			s.finish()
+			return nil, nil
 		}
-	}
-
-	for iter := 1; len(reps) > 1; iter++ {
-		if iter > s.Config.MaxIterations {
-			return false, fmt.Errorf("core: exceeded %d iterations with %d candidates left",
-				s.Config.MaxIterations, len(reps))
+		s.groupIter++
+		if s.groupIter > s.Config.MaxIterations {
+			return nil, fmt.Errorf("core: exceeded %d iterations with %d candidates left",
+				s.Config.MaxIterations, len(s.reps))
 		}
 		t0 := time.Now()
-		gen, err := dbgen.New(s.DB, joined, reps, s.R, s.Config.Gen)
+		joined, err := s.joinFor(s.reps[0])
 		if err != nil {
-			return false, err
+			return nil, err
+		}
+		gen, err := dbgen.New(s.DB, joined, s.reps, s.R, s.Config.Gen)
+		if err != nil {
+			return nil, err
 		}
 		res, err := gen.Generate()
 		if errors.Is(err, dbgen.ErrNoSplit) {
 			// Remaining candidates cannot be separated: ambiguous success.
-			s.finish(out, reps, members)
-			return true, nil
+			s.finish()
+			return nil, nil
 		}
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-
-		view := feedback.View{
-			Iteration: iter,
-			BaseDB:    s.DB,
-			BaseR:     s.R,
-			NewDB:     res.DB,
-			Edits:     res.Edits,
-			Results:   res.Results,
-			Groups:    res.Partition,
-			Queries:   reps,
+		s.seq++
+		s.pendingRes = res
+		s.roundStart = t0
+		s.pending = &Round{
+			Seq:       s.seq,
+			Iteration: s.groupIter,
+			Group:     s.gi,
+			NumGroups: len(s.groupKeys),
+			View: feedback.View{
+				Iteration: s.groupIter,
+				BaseDB:    s.DB,
+				BaseR:     s.R,
+				NewDB:     res.DB,
+				Edits:     res.Edits,
+				Results:   res.Results,
+				Groups:    res.Partition,
+				Queries:   s.reps,
+			},
 		}
-		choice, ok, err := s.Oracle.Choose(view)
-		if err != nil {
-			return false, err
-		}
-		stats := IterationStats{
-			Iteration:      iter,
-			NumQueries:     len(reps),
-			NumSubsets:     len(res.Partition),
-			SkylinePairs:   res.SkylinePairs,
-			Enumerated:     res.EnumeratedPairs,
-			ExecTime:       time.Since(t0),
-			Alg3Time:       res.Alg3Time,
-			Alg4Time:       res.Alg4Time,
-			ConcretizeTime: res.ConcretizeTime,
-			DBCost:         res.DBCost,
-			ResultCost:     res.ResultCost,
-			AvgResultCost:  res.AvgResultCost,
-		}
-		if !ok {
-			// None of the presented results is correct: the target is not
-			// in this group (§2 / §6.2); stop winnowing it.
-			out.Iterations = append(out.Iterations, stats)
-			out.TotalModCost += res.DBCost + res.ResultCost
-			return false, nil
-		}
-		if choice < 0 || choice >= len(res.Partition) {
-			return false, fmt.Errorf("core: oracle chose %d of %d results", choice, len(res.Partition))
-		}
-		stats.ChosenSubset = choice
-		stats.ChosenSize = len(res.Partition[choice])
-		out.Iterations = append(out.Iterations, stats)
-		out.TotalModCost += res.DBCost + res.ResultCost
-
-		next := make([]*algebra.Query, 0, len(res.Partition[choice]))
-		for _, qi := range res.Partition[choice] {
-			next = append(next, reps[qi])
-		}
-		reps = next
+		s.state = stateAwaiting
+		return s.pending, nil
 	}
-	s.finish(out, reps, members)
-	return true, nil
+}
+
+// beginGroup prepares winnowing of one join-schema group: computes (or
+// reuses) its foreign-key join and pre-merges candidates that no reachable
+// modification can distinguish.
+func (s *Session) beginGroup(qc []*algebra.Query) error {
+	joined, err := s.joinFor(qc[0])
+	if err != nil {
+		return err
+	}
+	s.groupIter = 0
+	s.members = map[string][]*algebra.Query{}
+	s.reps = qc
+	if s.Config.MergeEquivalent && len(qc) > 1 {
+		space, err := tupleclass.NewSpace(joined.Rel, qc)
+		if err != nil {
+			return err
+		}
+		eq := space.IndistinguishableGroupsParallel(s.Config.MaxEquivClasses, s.Config.Parallelism)
+		s.reps = s.reps[:0:0]
+		for _, grp := range eq {
+			rep := qc[grp[0]]
+			s.reps = append(s.reps, rep)
+			k := rep.Key()
+			for _, qi := range grp {
+				s.members[k] = append(s.members[k], qc[qi])
+			}
+		}
+	} else {
+		for _, q := range qc {
+			s.members[q.Key()] = []*algebra.Query{q}
+		}
+	}
+	return nil
 }
 
 // finish expands the surviving representatives into their equivalence-class
-// members and fills the outcome.
-func (s *Session) finish(out *Outcome, reps []*algebra.Query, members map[string][]*algebra.Query) {
+// members, fills the outcome and completes the session.
+func (s *Session) finish() {
 	var remaining []*algebra.Query
-	for _, rep := range reps {
-		ms := members[rep.Key()]
+	for _, rep := range s.reps {
+		ms := s.members[rep.Key()]
 		if len(ms) == 0 {
 			ms = []*algebra.Query{rep}
 		}
 		remaining = append(remaining, ms...)
 	}
-	out.Remaining = remaining
+	s.out.Found = true
+	s.out.Remaining = remaining
 	if len(remaining) == 1 {
-		out.Query = remaining[0]
+		s.out.Query = remaining[0]
 	} else {
-		out.Ambiguous = true
+		s.out.Ambiguous = true
 	}
+	s.complete()
+}
+
+// complete stamps the total time and transitions to the terminal state.
+func (s *Session) complete() {
+	s.out.TotalTime = time.Since(s.started)
+	s.state = stateDone
+	s.pending, s.pendingRes = nil, nil
 }
 
 func (s *Session) joinFor(q *algebra.Query) (*db.Joined, error) {

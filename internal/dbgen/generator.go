@@ -155,11 +155,25 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 // nearly every round after the first is answered entirely from the cache.
 // Misses are evaluated concurrently; each query's work is independent and
 // all inputs (join, predicates) are read-only.
+//
+// DISTINCT candidates are evaluated under bag semantics here: the stored
+// base feeds the incremental delta path, where set membership after a
+// modification depends on how many joined rows still produce a tuple — a
+// collapsed base would drop a tuple as soon as any one of its duplicate
+// producers is edited away. The collapse happens at materialisation
+// (partitionConcrete) and inside DeltaFingerprint's set branch. The cache
+// key is the bag form's fingerprint, which coincides — correctly, the
+// results are identical — with a structurally equal non-DISTINCT candidate.
 func (g *Generator) evaluateBase() error {
 	dbHash := g.Joined.ContentHash()
 	errs := make([]error, len(g.Queries))
 	par.Do(len(g.Queries), par.Workers(g.Opts.Parallelism), func(i int) {
 		q := g.Queries[i]
+		if q.Distinct {
+			bag := q.Clone()
+			bag.Distinct = false
+			q = bag
+		}
 		key := evalcache.Key{Query: q.Fingerprint(), DB: dbHash}
 		if g.Opts.Cache != nil {
 			if res, ok := g.Opts.Cache.Get(key); ok {

@@ -1,0 +1,428 @@
+// Package service turns the pausable core.Session state machine into a
+// concurrent, long-lived session manager — the layer that serves many users
+// who are each mid-winnowing-round, the workload interactive QBE systems are
+// built around.
+//
+// The Manager owns a registry of sessions keyed by opaque IDs. Each session
+// is stepped under its own mutex (core.Session is not concurrency-safe), so
+// concurrent feedback for different sessions proceeds in parallel while
+// concurrent requests for one session serialize. Idle sessions are evicted
+// after a TTL; a global live-session cap applies backpressure (Create
+// returns ErrCapacity) instead of letting memory grow unboundedly. Sessions
+// survive process restarts: Save serializes every resident session through
+// the internal/codec JSON snapshot format and Load restores them.
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qfe/internal/algebra"
+	"qfe/internal/core"
+	"qfe/internal/db"
+	"qfe/internal/evalcache"
+	"qfe/internal/relation"
+)
+
+// Errors returned by the manager. HTTP front-ends map these to status codes
+// (404, 429, 409, 500).
+var (
+	ErrNotFound = errors.New("service: no such session")
+	ErrCapacity = errors.New("service: session capacity reached, retry later")
+	ErrFinished = errors.New("service: session already finished")
+	// ErrDead wraps a fatal engine error inside a session: the session is
+	// unusable and the fault is the server's, not the client's.
+	ErrDead = errors.New("service: session failed")
+)
+
+// Options tunes a Manager. Zero values select defaults.
+type Options struct {
+	// TTL evicts sessions idle for longer. 0 selects 30 minutes.
+	TTL time.Duration
+	// MaxSessions caps concurrently live (unfinished) sessions; Create
+	// applies backpressure beyond it. 0 selects 1024.
+	MaxSessions int
+	// Config is the core configuration given to new sessions.
+	Config core.Config
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+// Manager is a concurrent registry of winnowing sessions. All methods are
+// safe for concurrent use.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*managed
+
+	started      atomic.Uint64
+	finished     atomic.Uint64
+	evicted      atomic.Uint64
+	abandoned    atomic.Uint64
+	roundsServed atomic.Uint64
+}
+
+// managed wraps one session with its serialization lock and bookkeeping.
+// The manager's map lock is never held while a session steps, so slow
+// rounds in one session cannot stall the others.
+type managed struct {
+	mu      sync.Mutex
+	id      string
+	sess    *core.Session
+	round   *core.Round
+	outcome *core.Outcome
+	dead    error // fatal stepping error; session unusable
+	// done mirrors "outcome or dead is set" for lock-free reads by the
+	// manager's capacity accounting (those fields are h.mu-guarded).
+	done     atomic.Bool
+	created  time.Time
+	lastUsed time.Time // guarded by the manager's mu, not h.mu
+}
+
+// New creates a Manager.
+func New(opts Options) *Manager {
+	if opts.TTL <= 0 {
+		opts.TTL = 30 * time.Minute
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 1024
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Manager{opts: opts, sessions: make(map[string]*managed)}
+}
+
+// Status is a point-in-time public view of one session.
+type Status struct {
+	ID string
+	// Round is the pending feedback round, nil once the session finished.
+	Round *core.Round
+	// Outcome is the final result, nil while the session is live.
+	Outcome *core.Outcome
+	Created time.Time
+}
+
+// Done reports whether the session has reached its outcome.
+func (s Status) Done() bool { return s.Outcome != nil }
+
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: id generation: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create registers a new session over (D, R, QC) using the manager's
+// default config, starts it, and returns its first status. When the live-
+// session cap is reached (after evicting expired sessions) it returns
+// ErrCapacity — the backpressure signal.
+func (m *Manager) Create(d *db.Database, r *relation.Relation, qc []*algebra.Query) (Status, error) {
+	sess, err := core.NewStepSession(d, r, qc, m.opts.Config)
+	if err != nil {
+		return Status{}, err
+	}
+	now := m.opts.Clock()
+	h := &managed{id: newID(), sess: sess, created: now, lastUsed: now}
+	h.mu.Lock() // reserve: nobody can step until Start finishes
+	defer h.mu.Unlock()
+
+	m.mu.Lock()
+	m.evictExpiredLocked(now)
+	if m.liveLocked() >= m.opts.MaxSessions {
+		m.mu.Unlock()
+		return Status{}, ErrCapacity
+	}
+	m.sessions[h.id] = h
+	m.mu.Unlock()
+	m.started.Add(1)
+
+	round, err := sess.Start()
+	if err != nil {
+		m.remove(h.id)
+		return Status{}, err
+	}
+	h.round = round
+	if round == nil {
+		h.outcome, _ = sess.Outcome()
+		h.done.Store(true)
+		m.finished.Add(1)
+	} else {
+		m.roundsServed.Add(1)
+	}
+	return m.statusLocked(h), nil
+}
+
+// statusLocked builds a Status; the caller holds h.mu.
+func (m *Manager) statusLocked(h *managed) Status {
+	return Status{ID: h.id, Round: h.round, Outcome: h.outcome, Created: h.created}
+}
+
+// lookup fetches a session handle, refreshing its idle timer.
+func (m *Manager) lookup(id string) (*managed, error) {
+	now := m.opts.Clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked(now)
+	h, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	h.lastUsed = now
+	return h, nil
+}
+
+// Get returns the session's current status: its pending round, or its
+// outcome once finished.
+func (m *Manager) Get(id string) (Status, error) {
+	h, err := m.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead != nil {
+		return Status{}, h.dead
+	}
+	return m.statusLocked(h), nil
+}
+
+// Feedback applies one feedback choice (an index into the pending round's
+// results, or core.NoneOfThese) and returns the next status. Invalid
+// choices return an error and leave the round pending, so clients can
+// retry. A fatal stepping error kills the session and is returned to this
+// and every later caller.
+func (m *Manager) Feedback(id string, choice int) (Status, error) {
+	h, err := m.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead != nil {
+		return Status{}, h.dead
+	}
+	if h.outcome != nil {
+		return Status{}, ErrFinished
+	}
+	round, outcome, err := h.sess.Feedback(choice)
+	if err != nil {
+		if h.sess.Pending() != nil {
+			// Validation error (bad choice): round still pending, retryable.
+			return Status{}, err
+		}
+		h.dead = fmt.Errorf("%w: session %s: %v", ErrDead, id, err)
+		h.done.Store(true)
+		return Status{}, h.dead
+	}
+	h.round = round
+	if round != nil {
+		m.roundsServed.Add(1)
+	} else {
+		h.outcome = outcome
+		h.done.Store(true)
+		m.finished.Add(1)
+	}
+	return m.statusLocked(h), nil
+}
+
+// Abandon removes a session before completion (user walked away).
+func (m *Manager) Abandon(id string) error {
+	m.mu.Lock()
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	m.abandoned.Add(1)
+	return nil
+}
+
+// remove deletes without counting it as abandoned (failed Create).
+func (m *Manager) remove(id string) {
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+}
+
+// liveLocked counts unfinished resident sessions; caller holds m.mu.
+func (m *Manager) liveLocked() int {
+	n := 0
+	for _, h := range m.sessions {
+		if !h.done.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// evictExpiredLocked drops sessions idle past the TTL; caller holds m.mu.
+// Finished and dead sessions age out the same way, so completed outcomes
+// stay fetchable for one TTL window.
+func (m *Manager) evictExpiredLocked(now time.Time) {
+	for id, h := range m.sessions {
+		if now.Sub(h.lastUsed) > m.opts.TTL {
+			delete(m.sessions, id)
+			m.evicted.Add(1)
+		}
+	}
+}
+
+// EvictExpired proactively applies the TTL (servers call this on a timer;
+// it also runs inside every lookup) and returns the number of resident
+// sessions remaining.
+func (m *Manager) EvictExpired() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked(m.opts.Clock())
+	return len(m.sessions)
+}
+
+// Stats is a snapshot of the manager's counters plus the effectiveness of
+// the shared evaluation cache backing the sessions' generators.
+type Stats struct {
+	Resident int `json:"resident"` // sessions currently held
+	Live     int `json:"live"`     // resident and unfinished
+
+	SessionsStarted   uint64 `json:"sessionsStarted"`
+	SessionsFinished  uint64 `json:"sessionsFinished"`
+	SessionsEvicted   uint64 `json:"sessionsEvicted"`
+	SessionsAbandoned uint64 `json:"sessionsAbandoned"`
+	RoundsServed      uint64 `json:"roundsServed"`
+
+	Cache evalcache.Stats `json:"cache"`
+}
+
+// cache returns the evaluation cache the manager's sessions use.
+func (m *Manager) cache() *evalcache.Cache {
+	if m.opts.Config.Gen.Cache != nil {
+		return m.opts.Config.Gen.Cache
+	}
+	return evalcache.Default()
+}
+
+// Stats returns current counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	resident := len(m.sessions)
+	live := m.liveLocked()
+	m.mu.Unlock()
+	return Stats{
+		Resident:          resident,
+		Live:              live,
+		SessionsStarted:   m.started.Load(),
+		SessionsFinished:  m.finished.Load(),
+		SessionsEvicted:   m.evicted.Load(),
+		SessionsAbandoned: m.abandoned.Load(),
+		RoundsServed:      m.roundsServed.Load(),
+		Cache:             m.cache().Stats(),
+	}
+}
+
+// savedSession is one session in the persistence format.
+type savedSession struct {
+	ID       string         `json:"id"`
+	Created  int64          `json:"createdUnixNs"`
+	LastUsed int64          `json:"lastUsedUnixNs"`
+	Snapshot *core.Snapshot `json:"snapshot"`
+}
+
+// savedState is the persistence envelope.
+type savedState struct {
+	Version  int            `json:"version"`
+	Sessions []savedSession `json:"sessions"`
+}
+
+// Save serializes every resident, healthy session to w as JSON, so a
+// restarted process can Load them and resume mid-round. Sessions that fail
+// to snapshot are skipped (and counted in the returned error-free total).
+func (m *Manager) Save(w io.Writer) (int, error) {
+	type handleMeta struct {
+		h        *managed
+		lastUsed time.Time
+	}
+	m.mu.Lock()
+	handles := make([]handleMeta, 0, len(m.sessions))
+	for _, h := range m.sessions {
+		handles = append(handles, handleMeta{h: h, lastUsed: h.lastUsed})
+	}
+	m.mu.Unlock()
+
+	state := savedState{Version: 1}
+	for _, hm := range handles {
+		h := hm.h
+		h.mu.Lock()
+		if h.dead != nil {
+			h.mu.Unlock()
+			continue
+		}
+		snap, err := h.sess.Snapshot()
+		h.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		state.Sessions = append(state.Sessions, savedSession{
+			ID:       h.id,
+			Created:  h.created.UnixNano(),
+			LastUsed: hm.lastUsed.UnixNano(),
+			Snapshot: snap,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(state); err != nil {
+		return 0, fmt.Errorf("service: save: %w", err)
+	}
+	return len(state.Sessions), nil
+}
+
+// Load restores sessions previously written by Save into the manager,
+// returning how many were restored. Sessions whose snapshots no longer
+// decode are skipped and reported in errs; existing sessions with the same
+// ID are replaced.
+func (m *Manager) Load(r io.Reader) (int, []error) {
+	var state savedState
+	if err := json.NewDecoder(r).Decode(&state); err != nil {
+		return 0, []error{fmt.Errorf("service: load: %w", err)}
+	}
+	if state.Version != 1 {
+		return 0, []error{fmt.Errorf("service: load: unknown state version %d", state.Version)}
+	}
+	var errs []error
+	n := 0
+	for _, ss := range state.Sessions {
+		sess, err := core.Restore(ss.Snapshot, nil)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", ss.ID, err))
+			continue
+		}
+		h := &managed{
+			id:       ss.ID,
+			sess:     sess,
+			created:  time.Unix(0, ss.Created),
+			lastUsed: time.Unix(0, ss.LastUsed),
+			round:    sess.Pending(),
+		}
+		if out, done := sess.Outcome(); done {
+			h.outcome = out
+			h.done.Store(true)
+		} else if serr := sess.Err(); serr != nil {
+			h.dead = fmt.Errorf("%w: session %s: %v", ErrDead, ss.ID, serr)
+			h.done.Store(true)
+		}
+		m.mu.Lock()
+		m.sessions[ss.ID] = h
+		m.mu.Unlock()
+		n++
+	}
+	return n, errs
+}

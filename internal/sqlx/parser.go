@@ -39,10 +39,26 @@ func Parse(src string) (*algebra.Query, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
-	src  string
+	toks  []token
+	i     int
+	src   string
+	depth int // boolean-expression nesting, bounded by maxExprDepth
 }
+
+// maxExprDepth bounds NOT/parenthesis nesting so adversarial input cannot
+// overflow the goroutine stack through the recursive-descent parser.
+const maxExprDepth = 200
+
+// maxDNFConjuncts and maxDNFTerms bound the size of the normalised
+// predicate. AND distributing over OR multiplies conjunct counts, so a small
+// input like (a=1 OR a=2) AND ... AND (a=1 OR a=2) denotes an exponentially
+// large DNF; and even under the conjunct cap, a long AND chain duplicated
+// into every conjunct multiplies the term count. Both are computed
+// symbolically and rejected before any materialisation.
+const (
+	maxDNFConjuncts = 4096
+	maxDNFTerms     = 1 << 16
+)
 
 func (p *parser) peek() token { return p.toks[p.i] }
 func (p *parser) advance() token {
@@ -192,6 +208,11 @@ func (p *parser) parseAnd() (*boolExpr, error) {
 }
 
 func (p *parser) parseUnary() (*boolExpr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, p.errf("expression nested deeper than %d levels", maxExprDepth)
+	}
 	if p.acceptKeyword("NOT") {
 		inner, err := p.parseUnary()
 		if err != nil {
@@ -318,12 +339,53 @@ func (p *parser) parseLiteral() (relation.Value, error) {
 
 // toDNF flattens the boolean AST into algebra's DNF predicate. NOT is pushed
 // down to the term level first (De Morgan), then AND distributes over OR.
+// Predicates whose DNF exceeds maxDNFConjuncts are rejected before any
+// materialisation (the count is computed symbolically, so the check itself
+// is linear in the input).
 func toDNF(e *boolExpr) (algebra.Predicate, error) {
 	n, err := pushNot(e, false)
 	if err != nil {
 		return nil, err
 	}
+	conjuncts, terms := dnfSize(n)
+	if conjuncts > maxDNFConjuncts {
+		return nil, fmt.Errorf("sql: predicate normalises to %d conjuncts (limit %d)", conjuncts, maxDNFConjuncts)
+	}
+	if terms > maxDNFTerms {
+		return nil, fmt.Errorf("sql: predicate normalises to %d terms (limit %d)", terms, maxDNFTerms)
+	}
 	return distribute(n), nil
+}
+
+// dnfSize returns the number of conjuncts and total terms distribute would
+// produce, saturating at an implementation ceiling well above the limits.
+// For AND, every left conjunct is concatenated with every right conjunct, so
+// the term total is terms(l)·size(r) + terms(r)·size(l).
+func dnfSize(e *boolExpr) (conjuncts, terms int) {
+	const ceiling = 1 << 30
+	sat := func(v int) int {
+		if v > ceiling || v < 0 {
+			return ceiling
+		}
+		return v
+	}
+	switch e.op {
+	case "term":
+		return 1, 1
+	case "or":
+		lc, lt := dnfSize(e.left)
+		rc, rt := dnfSize(e.right)
+		return sat(lc + rc), sat(lt + rt)
+	case "and":
+		lc, lt := dnfSize(e.left)
+		rc, rt := dnfSize(e.right)
+		if lc > 0 && rc > ceiling/lc {
+			return ceiling, ceiling
+		}
+		return sat(lc * rc), sat(lt*rc + rt*lc)
+	default:
+		return 1, 1
+	}
 }
 
 func pushNot(e *boolExpr, neg bool) (*boolExpr, error) {

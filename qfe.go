@@ -228,6 +228,33 @@ var DefaultSessionConfig = core.DefaultConfig
 // NewSession validates inputs and prepares a session.
 var NewSession = core.NewSession
 
+// Step API --------------------------------------------------------------------
+
+// Round is one suspended feedback round of the pausable session state
+// machine: D' (as edits over D), the distinct candidate results and the
+// query subsets producing them. Obtain rounds from Session.Start, resume
+// with Session.Feedback(choice) — choice indexes Round.View.Results, or is
+// NoneOfThese.
+type Round = core.Round
+
+// NoneOfThese is the Feedback choice for "no presented result is correct".
+const NoneOfThese = core.NoneOfThese
+
+// NewStepSession prepares a session driven through Start/Feedback without an
+// oracle — the form services and custom UIs embed.
+var NewStepSession = core.NewStepSession
+
+// SessionSnapshot is the JSON-serializable state of a session (see
+// internal/codec for the wire format). Session.Snapshot captures it;
+// RestoreSession resumes it, mid-round, even in another process.
+type SessionSnapshot = core.Snapshot
+
+// RestoreSession rebuilds a session from a snapshot (oracle may be nil).
+var RestoreSession = core.Restore
+
+// UnmarshalSessionSnapshot parses a JSON-encoded snapshot.
+var UnmarshalSessionSnapshot = core.UnmarshalSnapshot
+
 // Evaluation cache ------------------------------------------------------------
 
 // EvalCache memoises candidate evaluations across winnowing rounds and
