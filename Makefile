@@ -1,0 +1,27 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); the bench target records the micro-benchmark
+# numbers the evaluation-kernel work is measured by (EXPERIMENTS.md).
+
+GO ?= go
+# Restrict with e.g. `make bench BENCH=BenchmarkMicro` for a faster run.
+BENCH ?= .
+
+.PHONY: build test race bench bench-micro
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep with allocation counts, teed into BENCH_kernel.json
+# so before/after kernel comparisons have a durable artifact.
+bench:
+	$(GO) test -bench $(BENCH) -benchmem -run '^$$' | tee BENCH_kernel.json
+
+# The smoke variant CI runs: every micro benchmark once, allocations shown.
+bench-micro:
+	$(GO) test -bench BenchmarkMicro -benchmem -benchtime 1x -run '^$$' ./...

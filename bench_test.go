@@ -123,6 +123,7 @@ func BenchmarkExpUserStudy(b *testing.B) {
 // BenchmarkMicroCandidateGeneration measures QBO candidate generation on
 // the worked Example 1.1 database.
 func BenchmarkMicroCandidateGeneration(b *testing.B) {
+	b.ReportAllocs()
 	d, r := example11DB()
 	cfg := DefaultGenerateConfig()
 	b.ResetTimer()
@@ -135,6 +136,7 @@ func BenchmarkMicroCandidateGeneration(b *testing.B) {
 
 // BenchmarkMicroSkylinePairs measures Algorithm 3 on Example 1.1.
 func BenchmarkMicroSkylinePairs(b *testing.B) {
+	b.ReportAllocs()
 	d, r := example11DB()
 	qc, err := GenerateCandidates(d, r, DefaultGenerateConfig())
 	if err != nil || len(qc) == 0 {
@@ -160,6 +162,7 @@ func BenchmarkMicroSkylinePairs(b *testing.B) {
 // BenchmarkMicroFullSession measures a complete winnowing session with
 // worst-case feedback on Example 1.1.
 func BenchmarkMicroFullSession(b *testing.B) {
+	b.ReportAllocs()
 	d, r := example11DB()
 	qc, err := GenerateCandidates(d, r, DefaultGenerateConfig())
 	if err != nil || len(qc) == 0 {
@@ -186,6 +189,7 @@ func BenchmarkMicroFullSession(b *testing.B) {
 // internal/core's parallel tests); only wall-clock should move. Caches are
 // disabled so the comparison isolates the worker pools.
 func BenchmarkMicroSessionParallelism(b *testing.B) {
+	b.ReportAllocs()
 	sc, err := experiments.ScientificScenario("Q1", 19)
 	if err != nil {
 		b.Fatal(err)
@@ -198,6 +202,7 @@ func BenchmarkMicroSessionParallelism(b *testing.B) {
 		{"parallel", runtime.GOMAXPROCS(0)},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultSessionConfig()
 				cfg.Gen.Budget = Budget{MaxPairs: 100000}
@@ -218,6 +223,7 @@ func BenchmarkMicroSessionParallelism(b *testing.B) {
 // BenchmarkMicroAlg4Parallelism isolates Algorithm 4 (the Table 5 hot path)
 // on an artificially enlarged skyline, serial vs all-cores.
 func BenchmarkMicroAlg4Parallelism(b *testing.B) {
+	b.ReportAllocs()
 	sc, err := experiments.ScientificScenario("Q1", 19)
 	if err != nil {
 		b.Fatal(err)
@@ -234,6 +240,7 @@ func BenchmarkMicroAlg4Parallelism(b *testing.B) {
 		{"parallel", runtime.GOMAXPROCS(0)},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := dbgen.DefaultOptions()
 			opts.Budget = Budget{MaxPairs: 100000}
 			opts.Parallelism = bc.parallelism
@@ -260,6 +267,7 @@ func BenchmarkMicroAlg4Parallelism(b *testing.B) {
 // a warm result cache: the warm path is what every winnowing round after
 // the first — and every sweep re-run — pays.
 func BenchmarkMicroEvalCache(b *testing.B) {
+	b.ReportAllocs()
 	sc, err := experiments.ScientificScenario("Q1", 19)
 	if err != nil {
 		b.Fatal(err)
@@ -277,16 +285,19 @@ func BenchmarkMicroEvalCache(b *testing.B) {
 		}
 	}
 	b.Run("nocache", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			newGen(b, nil) // evaluation alone, no hashing or Put overhead
 		}
 	})
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			newGen(b, NewEvalCache(4096)) // fresh cache: all misses + Puts
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		cache := NewEvalCache(4096)
 		newGen(b, cache) // populate
 		b.ResetTimer()
@@ -299,6 +310,7 @@ func BenchmarkMicroEvalCache(b *testing.B) {
 // BenchmarkMicroMinEdit measures the Hungarian-based relation edit
 // distance on 32-row relations.
 func BenchmarkMicroMinEdit(b *testing.B) {
+	b.ReportAllocs()
 	schema := NewSchema("a", KindInt, "b", KindInt, "c", KindInt)
 	x := NewRelation("x", schema)
 	y := NewRelation("y", schema)

@@ -220,9 +220,22 @@ func TestQueryCloneAndFingerprint(t *testing.T) {
 	if c.Fingerprint() != q.Fingerprint() {
 		t.Error("clone should share fingerprint")
 	}
-	c.Pred[0][0].Set[0] = relation.Int(99)
-	if c.Fingerprint() == q.Fingerprint() {
+	// Queries are immutable once Key/Fingerprint has been called; variants
+	// must be made by mutating a fresh clone BEFORE its first use. The
+	// mutated clone's encodings must diverge (proving Clone deep-copies the
+	// term sets rather than aliasing them), while the original's memoised
+	// fingerprint is untouched.
+	m := q.Clone()
+	m.Pred[0][0].Set[0] = relation.Int(99)
+	if m.Fingerprint() == q.Fingerprint() {
 		t.Error("clone must deep-copy term sets")
+	}
+	if q.Fingerprint() != c.Fingerprint() {
+		t.Error("original fingerprint must be stable")
+	}
+	// Memoisation: repeated calls return the identical key material.
+	if q.Key() != q.Key() || q.Fingerprint() != q.Fingerprint() {
+		t.Error("Key/Fingerprint must be deterministic")
 	}
 	// Join schema key is order-insensitive.
 	a := &Query{Tables: []string{"A", "B"}}
@@ -274,14 +287,12 @@ func TestDeltaOnJoined(t *testing.T) {
 	if !newRel.BagEqual(direct) {
 		t.Errorf("incremental %v vs direct %v", newRel.Tuples, direct.Tuples)
 	}
-	if q.DeltaFingerprint(base, delta) != direct.Fingerprint()+fingerprintSuffix(direct) {
-		// DeltaFingerprint uses ×count encoding; compare via ApplyDelta instead.
-		t.Skip("fingerprint formats differ by design; equality tested via grouping below")
+	// The hashed fingerprint of the delta result must agree with a direct
+	// full evaluation encoded the same way (same bag of tuples).
+	if got, want := q.DeltaFingerprint(base, delta), q.DeltaFingerprint(direct, ResultDelta{}); got != want {
+		t.Errorf("DeltaFingerprint diverges from direct evaluation: %v vs %v", got, want)
 	}
 }
-
-// fingerprintSuffix is a helper making the skip above explicit.
-func fingerprintSuffix(*relation.Relation) string { return "" }
 
 func TestDeltaFingerprintGroupsQueriesCorrectly(t *testing.T) {
 	d := employeeDB(t)
@@ -300,7 +311,7 @@ func TestDeltaFingerprintGroupsQueriesCorrectly(t *testing.T) {
 	newBob[si] = relation.Int(3900)
 	mod := map[int]relation.Tuple{1: newBob}
 
-	fps := make(map[string][]string)
+	fps := make(map[ResultFP][]string)
 	for _, q := range []*Query{q1, q2, q3} {
 		base, err := q.EvaluateOnJoined(j.Rel)
 		if err != nil {

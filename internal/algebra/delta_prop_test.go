@@ -187,10 +187,16 @@ func TestDeltaOnJoinedMatchesFullReevaluation(t *testing.T) {
 		}
 
 		// Fingerprint path: exactly what partitionConcrete compares. The
-		// expected value re-encodes the full re-evaluation in
-		// DeltaFingerprint's canonical form.
-		if got, want := q.DeltaFingerprint(base, delta), deltaStyleFP(q, full); got != want {
-			t.Fatalf("trial %d: DeltaFingerprint diverges from full re-evaluation\nquery: %s\nD: %v\nedits: %v\ngot:  %q\nwant: %q",
+		// string-keyed reference encoding must match a re-encoding of the
+		// full re-evaluation, and the hashed 128-bit fingerprint must agree
+		// with the fingerprint of that same full result (same bag ⇒ same
+		// ResultFP; the slow reference proves "same bag").
+		if got, want := q.slowDeltaFingerprint(base, delta), deltaStyleFP(q, full); got != want {
+			t.Fatalf("trial %d: slowDeltaFingerprint diverges from full re-evaluation\nquery: %s\nD: %v\nedits: %v\ngot:  %q\nwant: %q",
+				trial, q.SQL(), rel.Tuples, modified, got, want)
+		}
+		if got, want := q.DeltaFingerprint(base, delta), q.DeltaFingerprint(full, ResultDelta{}); got != want {
+			t.Fatalf("trial %d: hashed DeltaFingerprint diverges from full re-evaluation\nquery: %s\nD: %v\nedits: %v\ngot:  %v\nwant: %v",
 				trial, q.SQL(), rel.Tuples, modified, got, want)
 		}
 

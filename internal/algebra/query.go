@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"qfe/internal/db"
 	"qfe/internal/relation"
@@ -14,42 +15,70 @@ import (
 // filtered by the DNF predicate Pred, projected onto Projection. Distinct
 // selects set semantics (SELECT DISTINCT); the default is bag semantics, the
 // paper's §5 assumption.
+//
+// A query is immutable once any of Key, JoinSchemaKey or Fingerprint has
+// been called: those canonical encodings are computed once and memoised on
+// the query (winnowing rounds call them per candidate per round, and the
+// sort-and-join work added up). Callers that need a variant of an existing
+// query must Clone it and mutate the clone before its first Key use —
+// Clone deliberately does not copy the memoised encodings.
 type Query struct {
-	Name       string   // optional label ("Q1", ...)
+	Name       string   // optional label ("Q1", ...); not part of Key
 	Tables     []string // base tables joined via foreign keys (the join schema)
 	Projection []string // qualified column names of the joined relation
 	Pred       Predicate
 	Distinct   bool
+
+	// memo holds the lazily computed canonical encodings. An atomic pointer
+	// (not sync.Once) keeps the zero Query copyable and lets concurrent
+	// first callers race benignly: both compute the same value, one wins.
+	memo atomic.Pointer[queryMemo]
+}
+
+type queryMemo struct {
+	joinKey string
+	key     string
+	fp      uint64
+}
+
+func (q *Query) memoized() *queryMemo {
+	if m := q.memo.Load(); m != nil {
+		return m
+	}
+	ts := append([]string(nil), q.Tables...)
+	sort.Strings(ts)
+	jk := strings.Join(ts, "⋈")
+	key := jk + "\x03" + strings.Join(q.Projection, ",") +
+		"\x03" + q.Pred.Key() + "\x03" + fmt.Sprint(q.Distinct)
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	m := &queryMemo{joinKey: jk, key: key, fp: h.Sum64()}
+	q.memo.Store(m)
+	return m
 }
 
 // JoinSchemaKey canonically identifies the query's join schema; queries with
-// equal keys can be winnowed together (§6.2).
-func (q *Query) JoinSchemaKey() string {
-	ts := append([]string(nil), q.Tables...)
-	sort.Strings(ts)
-	return strings.Join(ts, "⋈")
-}
+// equal keys can be winnowed together (§6.2). Computed once, memoised.
+func (q *Query) JoinSchemaKey() string { return q.memoized().joinKey }
 
 // Key canonically encodes the whole query (join schema, projection,
 // normalised predicate, semantics). Equal keys mean structurally identical
-// queries, so Key is what exact deduplication compares.
-func (q *Query) Key() string {
-	return q.JoinSchemaKey() + "\x03" + strings.Join(q.Projection, ",") +
-		"\x03" + q.Pred.Key() + "\x03" + fmt.Sprint(q.Distinct)
-}
+// queries, so Key is what exact deduplication compares. Computed once,
+// memoised (queries are immutable after construction; see the type doc).
+func (q *Query) Key() string { return q.memoized().key }
 
 // Fingerprint returns a 64-bit structural hash of the query — FNV-1a over
 // the canonical Key, covering the join schema, the projection list, the
 // normalised predicate and the bag/set semantics flag. It is the query half
 // of the evaluation-cache key (see internal/evalcache) and a compact
 // identity for equality checks; exact-dedup paths keep comparing Key.
-func (q *Query) Fingerprint() uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(q.Key()))
-	return h.Sum64()
-}
+// Computed once, memoised.
+func (q *Query) Fingerprint() uint64 { return q.memoized().fp }
 
-// Clone deep-copies the query.
+// Clone deep-copies the query. The memoised Key/Fingerprint material is NOT
+// copied: a clone may be mutated before its first Key use (e.g. dbgen's
+// bag-semantics re-evaluation clones and clears Distinct), so it must
+// re-derive its own encodings.
 func (q *Query) Clone() *Query {
 	c := &Query{
 		Name:       q.Name,
@@ -155,6 +184,11 @@ func (q *Query) DeltaOnJoined(joined *relation.Relation, modified map[int]relati
 		projIdx[i] = j
 	}
 	var delta ResultDelta
+	// Compile the predicate once for the whole delta: the column lookups and
+	// term dispatch are resolved here instead of per modified row (Compile
+	// mirrors Matches exactly, including the constant-false behaviour for
+	// columns missing from the schema).
+	match := q.Pred.Compile(joined.Schema)
 	// Deterministic order: visit modified rows in ascending index.
 	rows := make([]int, 0, len(modified))
 	for r := range modified {
@@ -166,8 +200,8 @@ func (q *Query) DeltaOnJoined(joined *relation.Relation, modified map[int]relati
 			return ResultDelta{}, fmt.Errorf("algebra: delta %s: row %d out of range", q.Name, r)
 		}
 		oldT, newT := joined.Tuples[r], modified[r]
-		oldIn := q.Pred.Matches(joined.Schema, oldT)
-		newIn := q.Pred.Matches(joined.Schema, newT)
+		oldIn := match(oldT)
+		newIn := match(newT)
 		switch {
 		case oldIn && newIn:
 			ox, nx := oldT.Project(projIdx), newT.Project(projIdx)
@@ -185,17 +219,16 @@ func (q *Query) DeltaOnJoined(joined *relation.Relation, modified map[int]relati
 }
 
 // ApplyDelta applies a delta to a base result (bag semantics) and returns
-// the resulting relation. baseCounts is consumed read-only.
+// the resulting relation. Removal bookkeeping runs through the hash kernel
+// (collision-verified), so no per-tuple key strings are built.
 func ApplyDelta(base *relation.Relation, delta ResultDelta) *relation.Relation {
 	out := relation.New(base.Name, base.Schema)
-	remove := make(map[string]int)
+	remove := relation.NewBag(len(delta.Removed))
 	for _, t := range delta.Removed {
-		remove[t.Key()]++
+		remove.Inc(t, 1)
 	}
 	for _, t := range base.Tuples {
-		k := t.Key()
-		if remove[k] > 0 {
-			remove[k]--
+		if remove.TakeOne(t) {
 			continue
 		}
 		out.Tuples = append(out.Tuples, t)
@@ -206,11 +239,45 @@ func ApplyDelta(base *relation.Relation, delta ResultDelta) *relation.Relation {
 	return out
 }
 
-// DeltaFingerprint returns a canonical encoding of the post-delta result,
-// given the base result, under the query's semantics. Two queries whose
+// ResultFP is a 128-bit fingerprint of one query's predicted result on the
+// modified database: a commutative combination of per-tuple hashes and
+// multiplicities (relation.Bag.Fingerprint128). Two queries with equal
+// fingerprints produce the same result bag on D' up to 128-bit collision;
+// unlike the kernel's verified operations this grouping is probabilistic,
+// which is acceptable because a collision merely merges two candidate
+// groups and 2⁻¹²⁸-scale probabilities are negligible at QFE's candidate
+// counts. ResultFP is comparable and replaces the canonical sorted-string
+// encoding the partitioner used to build per query per round.
+type ResultFP struct{ Lo, Hi uint64 }
+
+// DeltaFingerprint returns the fingerprint of the post-delta result, given
+// the base result, under the query's semantics. Two queries whose
 // fingerprints agree produce the same result on D' — this is how QFE
-// partitions QC without materialising each result (§2, step 4).
-func (q *Query) DeltaFingerprint(base *relation.Relation, delta ResultDelta) string {
+// partitions QC without materialising each result (§2, step 4). The counts
+// are exact (hash-keyed with equality verification); only the final 128-bit
+// encoding is probabilistic. slowDeltaFingerprint is the legacy
+// string-keyed encoding, kept as the differential-test reference.
+func (q *Query) DeltaFingerprint(base *relation.Relation, delta ResultDelta) ResultFP {
+	counts := relation.NewBag(base.Len())
+	for _, t := range base.Tuples {
+		counts.Inc(t, 1)
+	}
+	for _, t := range delta.Removed {
+		counts.Inc(t, -1)
+	}
+	for _, t := range delta.Added {
+		counts.Inc(t, 1)
+	}
+	lo, hi := counts.Fingerprint128(q.Distinct)
+	return ResultFP{Lo: lo, Hi: hi}
+}
+
+// slowDeltaFingerprint is the legacy canonical string encoding of the
+// post-delta result (sorted tuple keys, ×count under bag semantics). It is
+// the reference implementation for DeltaFingerprint's differential tests:
+// two (base, delta) pairs get equal slow encodings iff they describe the
+// same result bag, which is exactly when DeltaFingerprint must agree.
+func (q *Query) slowDeltaFingerprint(base *relation.Relation, delta ResultDelta) string {
 	counts := base.Counts()
 	for _, t := range delta.Removed {
 		counts[t.Key()]--

@@ -272,7 +272,9 @@ func (s *Session) Start() (*Round, error) {
 
 // buildGroups partitions QC by join schema, larger groups first (§6.2). It
 // is deterministic in QC, which lets Restore rebuild the grouping instead of
-// serializing it.
+// serializing it. JoinSchemaKey (like Key in beginGroup/finish and joinFor's
+// cache key below) is memoised on the query, so the per-round winnowing loop
+// no longer re-sorts and re-joins the table list on every lookup.
 func (s *Session) buildGroups() {
 	s.groups = map[string][]*algebra.Query{}
 	s.groupKeys = nil

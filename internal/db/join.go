@@ -110,9 +110,15 @@ func Join(d *Database, tables []string) (*Joined, error) {
 	}
 	j.Rel.Tuples = make([]relation.Tuple, first.Len())
 	j.Prov = make([][]int, first.Len())
+	seedArity := first.Arity()
+	seedArena := make([]relation.Value, first.Len()*seedArity)
+	provArena := make([]int, first.Len())
 	for i, t := range first.Tuples {
-		j.Rel.Tuples[i] = t.Clone()
-		j.Prov[i] = []int{i}
+		row := seedArena[i*seedArity : (i+1)*seedArity : (i+1)*seedArity]
+		copy(row, t)
+		j.Rel.Tuples[i] = row
+		provArena[i] = i
+		j.Prov[i] = provArena[i : i+1 : i+1]
 	}
 
 	remaining := append([]string(nil), tables[1:]...)
@@ -177,20 +183,35 @@ func joinConditions(d *Database, j *Joined, incoming string) []joinCondition {
 }
 
 // foldIn hash-joins the incoming table into j under the given conditions.
+// The build side is keyed by per-row join-column hashes (relation's hash
+// kernel; no key strings) and every hash match is verified value-by-value
+// with KeyEqual, so correctness never depends on hash uniqueness. The
+// merged tuples and provenance rows are carved out of one backing array
+// each — one allocation per fold, not one per output row.
 func (j *Joined) foldIn(in *relation.Relation, conds []joinCondition) error {
 	newTableIdx := len(j.Tables)
 	j.Tables = append(j.Tables, in.Name)
 
-	// Index incoming rows by their join key.
-	index := make(map[string][]int, in.Len())
-	for ri, t := range in.Tuples {
-		var b strings.Builder
+	newIdx := make([]int, len(conds))
+	joinedIdx := make([]int, len(conds))
+	for i, c := range conds {
+		newIdx[i] = c.newCol
+		joinedIdx[i] = c.joinedCol
+	}
+	condsEqual := func(jt, it relation.Tuple) bool {
 		for _, c := range conds {
-			b.WriteString(t[c.newCol].Key())
-			b.WriteByte('|')
+			if !jt[c.joinedCol].KeyEqual(it[c.newCol]) {
+				return false
+			}
 		}
-		k := b.String()
-		index[k] = append(index[k], ri)
+		return true
+	}
+
+	// Index incoming rows by their join-column hash.
+	index := make(map[uint64][]int, in.Len())
+	for ri, t := range in.Tuples {
+		h := t.HashProj(newIdx)
+		index[h] = append(index[h], ri)
 	}
 
 	newSchema := j.Rel.Schema.Concat(in.Schema.Qualify(in.Name))
@@ -198,23 +219,41 @@ func (j *Joined) foldIn(in *relation.Relation, conds []joinCondition) error {
 		j.Cols = append(j.Cols, ColRef{Table: in.Name, Column: c.Name, TableIdx: newTableIdx, ColIdx: ci})
 	}
 
-	var outTuples []relation.Tuple
-	var outProv [][]int
+	// Pass 1: probe with verification, recording the matching incoming rows
+	// per joined tuple (flattened, so the pass allocates O(output), not
+	// O(output rows) separate slices).
+	matches := make([]int, 0, len(j.Rel.Tuples))
+	starts := make([]int, len(j.Rel.Tuples)+1)
 	for ti, t := range j.Rel.Tuples {
-		var b strings.Builder
-		for _, c := range conds {
-			b.WriteString(t[c.joinedCol].Key())
-			b.WriteByte('|')
+		starts[ti] = len(matches)
+		for _, ri := range index[t.HashProj(joinedIdx)] {
+			if condsEqual(t, in.Tuples[ri]) {
+				matches = append(matches, ri)
+			}
 		}
-		for _, ri := range index[b.String()] {
-			merged := make(relation.Tuple, 0, len(t)+in.Arity())
-			merged = append(merged, t...)
-			merged = append(merged, in.Tuples[ri]...)
-			prov := make([]int, len(j.Prov[ti])+1)
+	}
+	starts[len(j.Rel.Tuples)] = len(matches)
+
+	// Pass 2: materialise output rows from arenas.
+	n := len(matches)
+	arity := len(j.Rel.Schema) + in.Arity()
+	provLen := newTableIdx + 1
+	valueArena := make([]relation.Value, n*arity)
+	provArena := make([]int, n*provLen)
+	outTuples := make([]relation.Tuple, n)
+	outProv := make([][]int, n)
+	oi := 0
+	for ti, t := range j.Rel.Tuples {
+		for _, ri := range matches[starts[ti]:starts[ti+1]] {
+			merged := valueArena[oi*arity : (oi+1)*arity : (oi+1)*arity]
+			copy(merged, t)
+			copy(merged[len(t):], in.Tuples[ri])
+			prov := provArena[oi*provLen : (oi+1)*provLen : (oi+1)*provLen]
 			copy(prov, j.Prov[ti])
-			prov[len(prov)-1] = ri
-			outTuples = append(outTuples, merged)
-			outProv = append(outProv, prov)
+			prov[provLen-1] = ri
+			outTuples[oi] = merged
+			outProv[oi] = prov
+			oi++
 		}
 	}
 	j.Rel = &relation.Relation{Name: j.Rel.Name, Schema: newSchema, Tuples: outTuples}

@@ -1,0 +1,46 @@
+package db
+
+import (
+	"testing"
+
+	"qfe/internal/relation"
+)
+
+// TestJoinUnderForcedHashCollisions proves the hash join's collision-
+// verification invariant: with every kernel hash truncated to 2 bits, rows
+// with unequal join keys routinely share index buckets, yet the join must
+// produce exactly the tuples and provenance of the untruncated run —
+// equality of join columns is always verified value-by-value.
+func TestJoinUnderForcedHashCollisions(t *testing.T) {
+	d := twoTableDB(t)
+
+	want, err := JoinAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relation.ForceHashCollisionsForTesting(2)
+	defer relation.ForceHashCollisionsForTesting(0)
+
+	got, err := JoinAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rel.Len() != want.Rel.Len() {
+		t.Fatalf("collided join has %d tuples, want %d", got.Rel.Len(), want.Rel.Len())
+	}
+	for i := range want.Rel.Tuples {
+		if !got.Rel.Tuples[i].Equal(want.Rel.Tuples[i]) {
+			t.Fatalf("tuple %d diverges under collisions: %v vs %v",
+				i, got.Rel.Tuples[i], want.Rel.Tuples[i])
+		}
+		if len(got.Prov[i]) != len(want.Prov[i]) {
+			t.Fatalf("provenance %d length diverges", i)
+		}
+		for j := range want.Prov[i] {
+			if got.Prov[i][j] != want.Prov[i][j] {
+				t.Fatalf("provenance %d diverges: %v vs %v", i, got.Prov[i], want.Prov[i])
+			}
+		}
+	}
+}

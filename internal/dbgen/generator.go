@@ -290,7 +290,7 @@ func (g *Generator) partitionConcrete(edits []db.CellEdit) ([][]int, []*relation
 	workers := par.Workers(g.Opts.Parallelism)
 
 	deltas := make([]algebra.ResultDelta, len(g.Queries))
-	fps := make([]string, len(g.Queries))
+	fps := make([]algebra.ResultFP, len(g.Queries))
 	errs := make([]error, len(g.Queries))
 	par.Do(len(g.Queries), workers, func(qi int) {
 		q := g.Queries[qi]
@@ -306,8 +306,8 @@ func (g *Generator) partitionConcrete(edits []db.CellEdit) ([][]int, []*relation
 		return nil, nil, nil, err
 	}
 
-	groups := map[string][]int{}
-	order := []string{}
+	groups := map[algebra.ResultFP][]int{}
+	order := []algebra.ResultFP{}
 	for qi := range g.Queries {
 		fp := fps[qi]
 		if _, ok := groups[fp]; !ok {

@@ -35,6 +35,13 @@ type evalCtx struct {
 	tables [][]string
 	nq     int
 	arityR int
+	// srcID[pair] resolves the pair's source class to its index in
+	// g.srcClasses (by class hash, Equal-verified), -1 when the class has no
+	// inhabitants; srcCap[class] is the inhabitant count. Feasibility checks
+	// then count duplicates over small index slices instead of building a
+	// map keyed by Class.Key strings per candidate set.
+	srcID  []int
+	srcCap []int
 }
 
 func (g *Generator) newEvalCtx(sp []ScoredPair, x, workers int) *evalCtx {
@@ -43,6 +50,25 @@ func (g *Generator) newEvalCtx(sp []ScoredPair, x, workers int) *evalCtx {
 	ctx.repl = make([][]int, len(sp))
 	ctx.edit = make([]int, len(sp))
 	ctx.tables = make([][]string, len(sp))
+	byHash := make(map[uint64][]int, len(g.srcClasses))
+	for si := range g.srcClasses {
+		h := g.srcClasses[si].Class.Hash64()
+		byHash[h] = append(byHash[h], si)
+	}
+	ctx.srcCap = make([]int, len(g.srcClasses))
+	for si := range g.srcClasses {
+		ctx.srcCap[si] = len(g.srcClasses[si].Rows)
+	}
+	ctx.srcID = make([]int, len(sp))
+	for i := range sp {
+		ctx.srcID[i] = -1
+		for _, si := range byHash[sp[i].Pair.Src.Hash64()] {
+			if g.srcClasses[si].Class.Equal(sp[i].Pair.Src) {
+				ctx.srcID[i] = si
+				break
+			}
+		}
+	}
 	// Per-pair slots are written by disjoint indexes, and CaseOf/ReplaceCost
 	// only read the space, so building the cache parallelises trivially.
 	par.Do(len(sp), workers, func(pi int) {
@@ -68,58 +94,158 @@ func (g *Generator) newEvalCtx(sp []ScoredPair, x, workers int) *evalCtx {
 }
 
 // evaluate scores the candidate set identified by ascending SP indices.
+// Sets of up to 32 pairs — every set Algorithm 4 reaches in practice — pack
+// the per-query case vector into a uint64 (2 bits per pair) and group
+// through a small linear-scanned slice, replacing the per-query key-string
+// allocations and the map of blocks the legacy path built per evaluation.
+// The cost model consumes sizes and edits through order-insensitive sums,
+// so block order does not matter (the legacy path iterated a map).
 func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
-	// Partition queries by their case-code vector across the set's pairs.
-	type block struct {
-		size int
-		rep  int
-	}
-	blocks := map[string]*block{}
-	keyBuf := make([]byte, len(indices))
-	for qi := 0; qi < ctx.nq; qi++ {
-		for i, pi := range indices {
-			keyBuf[i] = ctx.codes[pi][qi]
+	var sizes, resultEdits []int
+	if len(indices) <= 32 {
+		type pblock struct {
+			key  uint64
+			size int
+			rep  int
 		}
-		k := string(keyBuf)
-		b := blocks[k]
-		if b == nil {
-			blocks[k] = &block{size: 1, rep: qi}
-		} else {
-			b.size++
-		}
-	}
-	sizes := make([]int, 0, len(blocks))
-	resultEdits := make([]int, 0, len(blocks))
-	for key, b := range blocks {
-		sizes = append(sizes, b.size)
-		edit := 0
-		for i, pi := range indices {
-			switch key[i] {
-			case 1, 2: // add / remove
-				edit += ctx.arityR
-			case 3: // replace
-				edit += ctx.repl[pi][b.rep]
+		blocks := make([]pblock, 0, 16)
+		// Linear scan while the block count stays small (the common case:
+		// partitions have a handful of blocks); an index map takes over past
+		// that so diverse case vectors never go quadratic in |QC|.
+		var blockIdx map[uint64]int
+		for qi := 0; qi < ctx.nq; qi++ {
+			var key uint64
+			for _, pi := range indices {
+				key = key<<2 | uint64(ctx.codes[pi][qi])
+			}
+			found := -1
+			if blockIdx != nil {
+				if bi, ok := blockIdx[key]; ok {
+					found = bi
+				}
+			} else {
+				for bi := range blocks {
+					if blocks[bi].key == key {
+						found = bi
+						break
+					}
+				}
+			}
+			if found < 0 {
+				blocks = append(blocks, pblock{key: key, size: 1, rep: qi})
+				if blockIdx != nil {
+					blockIdx[key] = len(blocks) - 1
+				} else if len(blocks) > 32 {
+					blockIdx = make(map[uint64]int, ctx.nq)
+					for bi := range blocks {
+						blockIdx[blocks[bi].key] = bi
+					}
+				}
+			} else {
+				blocks[found].size++
 			}
 		}
-		resultEdits = append(resultEdits, edit)
+		sizes = make([]int, 0, len(blocks))
+		resultEdits = make([]int, 0, len(blocks))
+		for _, b := range blocks {
+			sizes = append(sizes, b.size)
+			edit := 0
+			key := b.key
+			for i := len(indices) - 1; i >= 0; i-- {
+				switch key & 3 {
+				case 1, 2: // add / remove
+					edit += ctx.arityR
+				case 3: // replace
+					edit += ctx.repl[indices[i]][b.rep]
+				}
+				key >>= 2
+			}
+			resultEdits = append(resultEdits, edit)
+		}
+	} else {
+		// Partition queries by their case-code vector across the set's pairs.
+		type block struct {
+			size int
+			rep  int
+		}
+		blocks := map[string]*block{}
+		keyBuf := make([]byte, len(indices))
+		for qi := 0; qi < ctx.nq; qi++ {
+			for i, pi := range indices {
+				keyBuf[i] = ctx.codes[pi][qi]
+			}
+			k := string(keyBuf)
+			b := blocks[k]
+			if b == nil {
+				blocks[k] = &block{size: 1, rep: qi}
+			} else {
+				b.size++
+			}
+		}
+		sizes = make([]int, 0, len(blocks))
+		resultEdits = make([]int, 0, len(blocks))
+		for key, b := range blocks {
+			sizes = append(sizes, b.size)
+			edit := 0
+			for i, pi := range indices {
+				switch key[i] {
+				case 1, 2: // add / remove
+					edit += ctx.arityR
+				case 3: // replace
+					edit += ctx.repl[pi][b.rep]
+				}
+			}
+			resultEdits = append(resultEdits, edit)
+		}
 	}
 	dbEdit := 0
-	tset := map[string]bool{}
+	tbls := make([]string, 0, 8)
 	for _, pi := range indices {
 		dbEdit += ctx.edit[pi]
 		for _, t := range ctx.tables[pi] {
-			tset[t] = true
+			dup := false
+			for _, u := range tbls {
+				if u == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				tbls = append(tbls, t)
+			}
 		}
 	}
 	in := cost.Inputs{
 		DBEdit:            dbEdit,
-		ModifiedRelations: len(tset),
+		ModifiedRelations: len(tbls),
 		ModifiedTuples:    len(indices),
 		ResultEdits:       resultEdits,
 		SubsetSizes:       sizes,
 		X:                 ctx.x,
 	}
 	return ctx.g.Opts.Cost.Cost(in), cost.Balance(sizes), len(sizes)
+}
+
+// feasible checks that the multiset of source classes demanded by the set
+// does not exceed the tuples available in each class. It counts duplicate
+// source-class ids over the (small) index slice — O(k²), zero allocations.
+func (ctx *evalCtx) feasible(indices []int) bool {
+	for _, a := range indices {
+		id := ctx.srcID[a]
+		if id < 0 {
+			return false
+		}
+		n := 0
+		for _, b := range indices {
+			if ctx.srcID[b] == id {
+				n++
+			}
+		}
+		if n > ctx.srcCap[id] {
+			return false
+		}
+	}
+	return true
 }
 
 // PickSubsets implements Algorithm 4 (Pick-STC-DTC-Subset) and returns
@@ -175,7 +301,7 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 	}
 	var singles [][]int
 	for i := range sp {
-		if g.feasible([]int{i}, sp) {
+		if ctx.feasible([]int{i}) {
 			singles = append(singles, []int{i})
 		}
 	}
@@ -218,7 +344,7 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 					continue
 				}
 				seen[key] = true
-				if !g.feasible(indices, sp) {
+				if !ctx.feasible(indices) {
 					continue
 				}
 				pending = append(pending, child{indices: indices, parentBalance: op.balance})
@@ -253,21 +379,6 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 		frontier = next
 	}
 	return best.ranked()
-}
-
-// feasible checks that the multiset of source classes demanded by the set
-// does not exceed the tuples available in each class.
-func (g *Generator) feasible(indices []int, sp []ScoredPair) bool {
-	need := map[string]int{}
-	for _, i := range indices {
-		need[sp[i].Pair.Src.Key()]++
-	}
-	for k, n := range need {
-		if len(g.srcRows[k]) < n {
-			return false
-		}
-	}
-	return true
 }
 
 func pairsAt(sp []ScoredPair, indices []int) []tupleclass.Pair {

@@ -118,9 +118,11 @@ func (a *skylineAcc) drain() []ScoredPair {
 }
 
 // score computes one (src, dst) pair's single-pair partition statistics.
+// It runs once per enumerated (STC, DTC) pair, so it uses the allocation-
+// free single-pair partitioner.
 func (g *Generator) score(src, dst tupleclass.Class) (tupleclass.Pair, []int, float64) {
 	p := tupleclass.NewPair(src, dst)
-	sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
+	sizes := g.Space.PartitionSizes1(p)
 	return p, sizes, cost.Balance(sizes)
 }
 
@@ -215,7 +217,7 @@ func (g *Generator) anySplittingPairs(max int) []ScoredPair {
 			}
 			g.Space.EnumerateClassesAt(sc.Class, i, func(dst tupleclass.Class) bool {
 				p := tupleclass.NewPair(sc.Class, dst)
-				sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
+				sizes := g.Space.PartitionSizes1(p)
 				b := cost.Balance(sizes)
 				if !math.IsInf(b, 1) {
 					out = append(out, ScoredPair{Pair: p, Balance: b, Sizes: sizes})
@@ -238,7 +240,7 @@ func (g *Generator) EnumerateScoredPairs(maxPairs int) []ScoredPair {
 		for _, sc := range g.srcClasses {
 			g.Space.EnumerateClassesAt(sc.Class, i, func(dst tupleclass.Class) bool {
 				p := tupleclass.NewPair(sc.Class, dst)
-				sizes := g.Space.PartitionSizes([]tupleclass.Pair{p})
+				sizes := g.Space.PartitionSizes1(p)
 				b := cost.Balance(sizes)
 				if !math.IsInf(b, 1) {
 					out = append(out, ScoredPair{Pair: p, Balance: b, Sizes: sizes})

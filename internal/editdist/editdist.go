@@ -89,23 +89,32 @@ func match(a, b *relation.Relation) ([]pair, int) {
 	}
 	arity := a.Arity()
 
-	// Multiset-match identical tuples at zero cost.
-	byKey := make(map[string][]int, b.Len())
+	// Multiset-match identical tuples at zero cost. B's rows are bucketed by
+	// tuple hash and matched with KeyEqual verification (the legacy key-
+	// string index is reproduced exactly: among equal tuples, the highest
+	// unused B row is taken first).
+	byHash := make(map[uint64][]int, b.Len())
 	for i, t := range b.Tuples {
-		k := t.Key()
-		byKey[k] = append(byKey[k], i)
+		h := t.Hash64()
+		byHash[h] = append(byHash[h], i)
 	}
 	usedB := make([]bool, b.Len())
 	var pairs []pair
 	var restA []int
 	for i, t := range a.Tuples {
-		k := t.Key()
-		if idxs := byKey[k]; len(idxs) > 0 {
-			j := idxs[len(idxs)-1]
-			byKey[k] = idxs[:len(idxs)-1]
+		bucket := byHash[t.Hash64()]
+		matched := false
+		for bi := len(bucket) - 1; bi >= 0; bi-- {
+			j := bucket[bi]
+			if usedB[j] || !b.Tuples[j].KeyEqual(t) {
+				continue
+			}
 			usedB[j] = true
 			pairs = append(pairs, pair{i, j})
-		} else {
+			matched = true
+			break
+		}
+		if !matched {
 			restA = append(restA, i)
 		}
 	}

@@ -15,6 +15,14 @@
 // goroutines, and size-bounded with per-shard LRU eviction so sweeps over
 // thousands of perturbed candidates cannot grow it without bound.
 //
+// Both halves of the key are (uint64, uint64) words produced by the hash
+// kernel: Query.Fingerprint is memoised on the query (computed once per
+// query lifetime) and Relation.Hash64 folds per-tuple hashes with zero
+// allocations, so cache probes build no strings. Relation hashes involve
+// process-local interner ids and are never persisted — a restored session
+// recomputes them lazily, so cross-restart hits are not expected (cross-
+// session hits within one process are).
+//
 // Cached relations are shared between callers and MUST be treated as
 // immutable; every producer in this repository already returns fresh
 // relations from evaluation and never mutates results afterwards.

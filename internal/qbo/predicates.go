@@ -27,25 +27,28 @@ func classifyRows(j *db.Joined, proj []string, r *relation.Relation) rowClass {
 	for i, p := range proj {
 		idx[i] = j.Rel.Schema.MustIndexOf(p)
 	}
-	need := r.Counts()
-	have := map[string]int{}
+	need := r.Bag()
+	have := relation.NewBag(len(j.Rel.Tuples))
 	for _, t := range j.Rel.Tuples {
-		have[t.Project(idx).Key()]++
+		have.IncProj(t, idx, 1)
 	}
-	for k, n := range need {
-		if have[k] < n {
-			return rowClass{feasible: false}
+	short := false
+	need.ForEach(func(t relation.Tuple, n int) {
+		if have.Count(t) < n {
+			short = true
 		}
+	})
+	if short {
+		return rowClass{feasible: false}
 	}
 	var rc rowClass
 	rc.feasible = true
 	for ri, t := range j.Rel.Tuples {
-		k := t.Project(idx).Key()
-		n := need[k]
+		n := need.CountProj(t, idx)
 		switch {
 		case n == 0:
 			rc.excluded = append(rc.excluded, ri)
-		case n == have[k]:
+		case n == have.CountProj(t, idx):
 			rc.required = append(rc.required, ri)
 		default:
 			rc.optional = append(rc.optional, ri)
@@ -241,12 +244,12 @@ func greedyAnchors(j *db.Joined, proj []string, r *relation.Relation, optional [
 	for i, p := range proj {
 		idx[i] = j.Rel.Schema.MustIndexOf(p)
 	}
-	need := r.Counts()
+	need := r.Bag()
 	var anchors []int
 	for _, ri := range optional {
-		k := j.Rel.Tuples[ri].Project(idx).Key()
-		if need[k] > 0 {
-			need[k]--
+		t := j.Rel.Tuples[ri]
+		if need.CountProj(t, idx) > 0 {
+			need.IncProj(t, idx, -1)
 			anchors = append(anchors, ri)
 		}
 	}
@@ -403,7 +406,7 @@ func (g *generator) generateClusterDNF(j *db.Joined, tables, proj []string, rc r
 	for i, p := range proj {
 		projIdx[i] = j.Rel.Schema.MustIndexOf(p)
 	}
-	need := g.r.Counts()
+	need := g.r.Bag()
 
 	for ci, col := range j.Rel.Schema {
 		if col.Type != relation.KindString {
@@ -440,35 +443,35 @@ func (g *generator) generateClusterDNF(j *db.Joined, tables, proj []string, rc r
 			if !ok {
 				break
 			}
-			// Project the selected rows and compare against R.
+			// Project the selected rows and compare against R. Multiplicity
+			// counting goes through the hash kernel — no projected-key
+			// strings inside the per-round row scan.
 			match := pred.Compile(j.Rel.Schema)
-			got := map[string]int{}
+			got := relation.NewBag(need.Distinct())
 			for _, v := range values {
 				for _, ri := range rowsByVal[v.Key()] {
 					if excl[ri] {
 						continue
 					}
 					if t := j.Rel.Tuples[ri]; match(t) {
-						got[t.Project(projIdx).Key()]++
+						got.IncProj(t, projIdx, 1)
 					}
 				}
 			}
 			overshoot, missing := false, false
-			var missingKeys map[string]bool
-			for k, n := range got {
-				if n > need[k] {
+			got.ForEach(func(t relation.Tuple, n int) {
+				if n > need.Count(t) {
 					overshoot = true
-					break
 				}
-			}
+			})
+			missingSet := relation.NewBag(0)
 			if !overshoot {
-				missingKeys = map[string]bool{}
-				for k, n := range need {
-					if got[k] < n {
-						missingKeys[k] = true
+				need.ForEach(func(t relation.Tuple, n int) {
+					if got.Count(t) < n {
+						missingSet.Inc(t, 1)
 						missing = true
 					}
-				}
+				})
 			}
 			if overshoot {
 				break // repair can only add rows, never remove
@@ -522,10 +525,13 @@ func (g *generator) generateClusterDNF(j *db.Joined, tables, proj []string, rc r
 				if excl[ri] {
 					continue
 				}
-				k := t.Project(projIdx).Key()
-				if !missingKeys[k] {
+				// Cheap hashed membership test first; the canonical key
+				// string is built only for the (rare) rows that actually
+				// supply a missing result tuple.
+				if missingSet.CountProj(t, projIdx) == 0 {
 					continue
 				}
+				k := t.Project(projIdx).Key()
 				v := t[ci]
 				if haveVal[v.Key()] {
 					continue

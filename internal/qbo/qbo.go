@@ -192,11 +192,11 @@ type verifier struct {
 	proj    []string
 	projIdx []int
 	rows    []int // required ∪ optional
-	need    map[string]int
+	need    *relation.Bag
 }
 
 func (g *generator) newVerifier(j *db.Joined, tables, proj []string, rc rowClass) *verifier {
-	v := &verifier{j: j, tables: tables, proj: proj, need: g.r.Counts()}
+	v := &verifier{j: j, tables: tables, proj: proj, need: g.r.Bag()}
 	v.projIdx = make([]int, len(proj))
 	for i, p := range proj {
 		v.projIdx[i] = j.Rel.Schema.MustIndexOf(p)
@@ -206,7 +206,9 @@ func (g *generator) newVerifier(j *db.Joined, tables, proj []string, rc rowClass
 }
 
 // emitVerified appends the query if it is new and selects exactly R from
-// the verifier's candidate rows.
+// the verifier's candidate rows. Multiplicity bookkeeping runs through the
+// hash kernel: projected tuples are hashed in place (no materialisation, no
+// key strings) and verified on collision.
 func (g *generator) emitVerified(v *verifier, pred algebra.Predicate) {
 	if g.full() {
 		return
@@ -217,17 +219,15 @@ func (g *generator) emitVerified(v *verifier, pred algebra.Predicate) {
 		return
 	}
 	match := pred.Compile(v.j.Rel.Schema)
-	got := make(map[string]int, len(v.need))
+	got := relation.NewBag(v.need.Distinct())
 	total := 0
 	for _, ri := range v.rows {
 		t := v.j.Rel.Tuples[ri]
 		if !match(t) {
 			continue
 		}
-		k := t.Project(v.projIdx).Key()
-		got[k]++
 		total++
-		if got[k] > v.need[k] {
+		if got.IncProj(t, v.projIdx, 1) > v.need.CountProj(t, v.projIdx) {
 			return // overshoot: cannot equal R
 		}
 	}
@@ -331,12 +331,30 @@ func maskConnected(mask int, adj [][]bool, n int) bool {
 // spurious single-column match (e.g. an integer that also occurs in some
 // float column) cannot poison the search. Results are capped by the config.
 func (g *generator) projectionMappings(j *db.Joined) [][]string {
+	// Distinct values per joined column, computed at most once per column
+	// through the hash kernel (the legacy path rebuilt a key-string set per
+	// (R column, joined column) combination), and only for columns that
+	// survive the type filter at least once.
+	doms := make([]*relation.Bag, j.Rel.Arity())
+	colIdx := make([][1]int, j.Rel.Arity())
+	domOf := func(ci int) *relation.Bag {
+		if doms[ci] == nil {
+			colIdx[ci][0] = ci
+			dom := relation.NewBag(len(j.Rel.Tuples))
+			for _, t := range j.Rel.Tuples {
+				dom.IncProj(t, colIdx[ci][:], 1)
+			}
+			doms[ci] = dom
+		}
+		return doms[ci]
+	}
 	// Candidate joined columns per R column.
 	cands := make([][]string, g.r.Arity())
 	for ri, rc := range g.r.Schema {
-		rvals := map[string]bool{}
+		rIdx := [1]int{ri}
+		rvals := relation.NewBag(len(g.r.Tuples))
 		for _, t := range g.r.Tuples {
-			rvals[t[ri].Key()] = true
+			rvals.IncProj(t, rIdx[:], 1)
 		}
 		type scored struct {
 			name string
@@ -347,17 +365,13 @@ func (g *generator) projectionMappings(j *db.Joined) [][]string {
 			if jc.Type != rc.Type && !(jc.Type.Numeric() && rc.Type.Numeric()) {
 				continue
 			}
-			dom := map[string]bool{}
-			for _, t := range j.Rel.Tuples {
-				dom[t[ci].Key()] = true
-			}
+			dom := domOf(ci)
 			ok := true
-			for k := range rvals {
-				if !dom[k] {
+			rvals.ForEach(func(t relation.Tuple, _ int) {
+				if ok && dom.Count(t) == 0 {
 					ok = false
-					break
 				}
-			}
+			})
 			if !ok {
 				continue
 			}

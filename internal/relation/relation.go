@@ -2,7 +2,6 @@ package relation
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -81,8 +80,23 @@ func (r *Relation) Select(keep func(Tuple) bool) *Relation {
 }
 
 // Distinct returns a new relation with duplicate tuples removed, keeping the
-// first occurrence of each (set semantics).
+// first occurrence of each (set semantics). Duplicates are detected through
+// the hash kernel with equality verification on collision (see hash.go);
+// slowDistinct is the string-keyed reference implementation.
 func (r *Relation) Distinct() *Relation {
+	out := New(r.Name, r.Schema)
+	seen := NewBag(len(r.Tuples))
+	for _, t := range r.Tuples {
+		if seen.Inc(t, 1) == 1 {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// slowDistinct is the legacy string-keyed Distinct, kept as the reference
+// implementation for the kernel's differential tests.
+func (r *Relation) slowDistinct() *Relation {
 	out := New(r.Name, r.Schema)
 	seen := make(map[string]bool, len(r.Tuples))
 	for _, t := range r.Tuples {
@@ -95,7 +109,8 @@ func (r *Relation) Distinct() *Relation {
 	return out
 }
 
-// Counts returns the multiset of tuple keys with multiplicities.
+// Counts returns the multiset of tuple keys with multiplicities. It is the
+// string-keyed reference form; hot paths use Bag instead.
 func (r *Relation) Counts() map[string]int {
 	m := make(map[string]int, len(r.Tuples))
 	for _, t := range r.Tuples {
@@ -108,6 +123,20 @@ func (r *Relation) Counts() map[string]int {
 // must have the same arity; column names are ignored (results are compared
 // positionally, as SQL does).
 func (r *Relation) BagEqual(s *Relation) bool {
+	if r.Arity() != s.Arity() || r.Len() != s.Len() {
+		return false
+	}
+	counts := r.Bag()
+	for _, t := range s.Tuples {
+		if counts.Inc(t, -1) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// slowBagEqual is the legacy string-keyed BagEqual (differential reference).
+func (r *Relation) slowBagEqual(s *Relation) bool {
 	if r.Arity() != s.Arity() || r.Len() != s.Len() {
 		return false
 	}
@@ -124,6 +153,28 @@ func (r *Relation) BagEqual(s *Relation) bool {
 
 // SetEqual reports equality of the distinct tuple sets.
 func (r *Relation) SetEqual(s *Relation) bool {
+	if r.Arity() != s.Arity() {
+		return false
+	}
+	rs := r.Bag()
+	ss := NewBag(len(s.Tuples))
+	for _, t := range s.Tuples {
+		if rs.Count(t) == 0 {
+			return false
+		}
+		ss.Inc(t, 1)
+	}
+	missing := false
+	rs.ForEach(func(t Tuple, _ int) {
+		if ss.Count(t) == 0 {
+			missing = true
+		}
+	})
+	return !missing
+}
+
+// slowSetEqual is the legacy string-keyed SetEqual (differential reference).
+func (r *Relation) slowSetEqual(s *Relation) bool {
 	if r.Arity() != s.Arity() {
 		return false
 	}
@@ -158,24 +209,28 @@ func (r *Relation) Fingerprint() string {
 	return strings.Join(keys, "\n")
 }
 
-// Hash64 returns a 64-bit FNV-1a content hash over the schema and the
-// tuples in stored order. It serves as the relation's version for the
-// evaluation cache: two relations with equal hashes hold the same tuples in
-// the same order under the same schema (modulo hash collisions, which at
-// 64 bits are negligible for the relation counts QFE handles). Unlike
-// Fingerprint it is order-sensitive and cheap to compare.
+// Hash64 returns a 64-bit content hash over the schema and the tuples in
+// stored order. It serves as the relation's version for the evaluation
+// cache: two relations with equal hashes hold the same tuples in the same
+// order under the same schema (modulo hash collisions, which at 64 bits are
+// negligible for the relation counts QFE handles). Unlike Fingerprint it is
+// order-sensitive and cheap to compare.
+//
+// The hash folds Tuple.Hash64 words (no per-tuple key strings, zero
+// allocations) and therefore involves interner ids: it is process-local and
+// must never be persisted. Codec snapshots do not store it; caches keyed by
+// it (evalcache, db.Joined.ContentHash) recompute lazily after restore.
 func (r *Relation) Hash64() uint64 {
-	h := fnv.New64a()
+	h := uint64(hashOffset64)
 	for _, c := range r.Schema {
-		h.Write([]byte(c.Name))
-		h.Write([]byte{byte(c.Type), 0})
+		h = hashString(h, c.Name)
+		h = hashWord(h, uint64(c.Type))
 	}
-	h.Write([]byte{0xff})
+	h = hashWord(h, 0xff)
 	for _, t := range r.Tuples {
-		h.Write([]byte(t.Key()))
-		h.Write([]byte{0})
+		h = hashWord(h, t.Hash64())
 	}
-	return h.Sum64()
+	return avalanche(h)
 }
 
 // SetFingerprint is Fingerprint under set semantics (duplicates collapsed).
@@ -203,13 +258,21 @@ func (r *Relation) Sorted() *Relation {
 // ActiveDomain returns the sorted distinct values of the named column.
 func (r *Relation) ActiveDomain(col string) []Value {
 	i := r.Schema.MustIndexOf(col)
-	seen := make(map[string]bool)
+	seen := make(map[uint64][]Value)
 	var vals []Value
 	for _, t := range r.Tuples {
-		k := t[i].Key()
-		if !seen[k] {
-			seen[k] = true
-			vals = append(vals, t[i])
+		v := t[i]
+		h := v.Hash64()
+		dup := false
+		for _, w := range seen[h] {
+			if w.KeyEqual(v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], v)
+			vals = append(vals, v)
 		}
 	}
 	sort.Slice(vals, func(a, b int) bool { return vals[a].Compare(vals[b]) < 0 })

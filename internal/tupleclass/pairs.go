@@ -52,11 +52,15 @@ const (
 // caseNone and caseReplace as caseAdd — the paper's §6.1 "second approach",
 // which distinguishes queries through inserted values only. The concrete
 // partition computed after concretization remains exact either way.
+//
+// CaseOf sits inside Algorithm 3's enumeration loop (once per query per
+// enumerated pair), so the changed-attribute scan is inlined rather than
+// materialised through ChangedAttrs — zero allocations.
 func (s *Space) CaseOf(p Pair, qi int) uint8 {
 	srcM, dstM := s.Matches(p.Src, qi), s.Matches(p.Dst, qi)
 	projChanged := false
-	for _, a := range p.ChangedAttrs() {
-		if s.projected[qi][a] {
+	for a := range p.Src {
+		if p.Src[a] != p.Dst[a] && s.projected[qi][a] {
 			projChanged = true
 			break
 		}
@@ -85,11 +89,12 @@ func (s *Space) CaseOf(p Pair, qi int) uint8 {
 
 // ReplaceCost returns the cost of a caseReplace effect of pair p on query
 // qi: the number of changed attributes that are projected by qi (each is one
-// in-place result-tuple modification).
+// in-place result-tuple modification). Like CaseOf it inlines the
+// changed-attribute scan (no ChangedAttrs slice).
 func (s *Space) ReplaceCost(p Pair, qi int) int {
 	n := 0
-	for _, a := range p.ChangedAttrs() {
-		if s.projected[qi][a] {
+	for a := range p.Src {
+		if p.Src[a] != p.Dst[a] && s.projected[qi][a] {
 			n++
 		}
 	}
@@ -102,6 +107,9 @@ func (s *Space) ReplaceCost(p Pair, qi int) int {
 // same way. It returns the per-block query indexes, deterministically
 // ordered, plus the per-block case vectors.
 func (s *Space) PartitionOf(pairs []Pair) ([][]int, [][]uint8) {
+	if len(pairs) <= 32 {
+		return s.partitionPacked(pairs)
+	}
 	type block struct {
 		queries []int
 		cases   []uint8
@@ -132,6 +140,68 @@ func (s *Space) PartitionOf(pairs []Pair) ([][]int, [][]uint8) {
 	return groups, caseVecs
 }
 
+// partitionPacked is PartitionOf for up to 32 pairs: the case vector packs
+// into a uint64 (2 bits per pair, first pair in the highest-order bits so
+// numeric order equals the lexicographic order sort.Strings imposes on the
+// byte-string keys), grouping through a small linear-scanned slice instead
+// of a map of byte strings. Output is byte-identical to the generic path.
+func (s *Space) partitionPacked(pairs []Pair) ([][]int, [][]uint8) {
+	type block struct {
+		key     uint64
+		queries []int
+	}
+	blocks := make([]block, 0, 8)
+	// Linear scan while few blocks exist; an index map takes over past 32
+	// so diverse case vectors never make the grouping quadratic in |QC|.
+	var blockIdx map[uint64]int
+	for qi := range s.Queries {
+		var k uint64
+		for _, p := range pairs {
+			k = k<<2 | uint64(s.CaseOf(p, qi))
+		}
+		found := -1
+		if blockIdx != nil {
+			if bi, ok := blockIdx[k]; ok {
+				found = bi
+			}
+		} else {
+			for bi := range blocks {
+				if blocks[bi].key == k {
+					found = bi
+					break
+				}
+			}
+		}
+		if found < 0 {
+			found = len(blocks)
+			blocks = append(blocks, block{key: k})
+			if blockIdx != nil {
+				blockIdx[k] = found
+			} else if len(blocks) > 32 {
+				blockIdx = make(map[uint64]int, len(s.Queries))
+				for bi := range blocks {
+					blockIdx[blocks[bi].key] = bi
+				}
+			}
+		}
+		blocks[found].queries = append(blocks[found].queries, qi)
+	}
+	sort.Slice(blocks, func(a, b int) bool { return blocks[a].key < blocks[b].key })
+	groups := make([][]int, len(blocks))
+	caseVecs := make([][]uint8, len(blocks))
+	for i, b := range blocks {
+		groups[i] = b.queries
+		cases := make([]uint8, len(pairs))
+		k := b.key
+		for pi := len(pairs) - 1; pi >= 0; pi-- {
+			cases[pi] = uint8(k & 3)
+			k >>= 2
+		}
+		caseVecs[i] = cases
+	}
+	return groups, caseVecs
+}
+
 // PartitionSizes returns just the block sizes of PartitionOf (the input to
 // the balance score).
 func (s *Space) PartitionSizes(pairs []Pair) []int {
@@ -139,6 +209,25 @@ func (s *Space) PartitionSizes(pairs []Pair) []int {
 	sizes := make([]int, len(groups))
 	for i, g := range groups {
 		sizes[i] = len(g)
+	}
+	return sizes
+}
+
+// PartitionSizes1 is PartitionSizes specialised to a single pair — the shape
+// Algorithm 3 scores once per enumerated (STC, DTC) pair. A single pair
+// admits only the four Lemma 5.1 case codes, so the sizes are a 4-counter
+// tally with no map, no case-vector slices and no key strings; blocks come
+// out in ascending case order, exactly as the generic path sorts them.
+func (s *Space) PartitionSizes1(p Pair) []int {
+	var counts [4]int
+	for qi := range s.Queries {
+		counts[s.CaseOf(p, qi)]++
+	}
+	sizes := make([]int, 0, 4)
+	for _, c := range counts {
+		if c > 0 {
+			sizes = append(sizes, c)
+		}
 	}
 	return sizes
 }

@@ -46,12 +46,31 @@ type Partition struct {
 	Terms    []algebra.Term
 	Subsets  []Subset
 	sigIndex map[string]int
+	// valIndex maps every probe value (hash-bucketed, KeyEqual-verified on
+	// collision) to its subset, covering the whole active domain. It is
+	// built once at construction and read-only afterwards, so concurrent
+	// classification never needs a lock; values outside the probe set fall
+	// back to signature evaluation.
+	valIndex map[uint64][]valSub
+}
+
+type valSub struct {
+	v      relation.Value
+	subset int
 }
 
 // SubsetOf returns the index of the subset containing v, computed from v's
 // term signature. It returns -1 only for signatures outside the probed
 // space, which cannot happen for values of the joined relation or reps.
+// Probe values — every active-domain value and every subset representative —
+// resolve through the precomputed value index with zero allocations; only
+// foreign values pay for a signature evaluation.
 func (p *Partition) SubsetOf(v relation.Value) int {
+	for _, e := range p.valIndex[v.Hash64()] {
+		if e.v.KeyEqual(v) {
+			return e.subset
+		}
+	}
 	sig := p.signature(v)
 	if i, ok := p.sigIndex[sigKey(sig)]; ok {
 		return i
@@ -98,7 +117,7 @@ func buildPartition(attr string, col int, kind relation.Kind,
 	terms []algebra.Term, active []relation.Value) *Partition {
 
 	p := &Partition{Attr: attr, Col: col, Kind: kind, Terms: terms,
-		sigIndex: make(map[string]int)}
+		sigIndex: make(map[string]int), valIndex: make(map[uint64][]valSub)}
 
 	// Probe values: active-domain values first (so representatives are
 	// realistic), then synthetic probes covering every elementary region
@@ -116,16 +135,30 @@ func buildPartition(attr string, col int, kind relation.Kind,
 	for i, v := range probes {
 		sig := p.signature(v)
 		k := sigKey(sig)
-		if _, seen := p.sigIndex[k]; seen {
-			continue
+		sub, seen := p.sigIndex[k]
+		if !seen {
+			sub = len(p.Subsets)
+			p.sigIndex[k] = sub
+			p.Subsets = append(p.Subsets, Subset{
+				Rep:        v,
+				Sig:        sig,
+				FromActive: i < len(active),
+				Fresh:      i >= freshFrom,
+			})
 		}
-		p.sigIndex[k] = len(p.Subsets)
-		p.Subsets = append(p.Subsets, Subset{
-			Rep:        v,
-			Sig:        sig,
-			FromActive: i < len(active),
-			Fresh:      i >= freshFrom,
-		})
+		// Register the probe in the value index (deduplicated under
+		// KeyEqual) so SubsetOf classifies it without re-evaluating terms.
+		h := v.Hash64()
+		dup := false
+		for _, e := range p.valIndex[h] {
+			if e.v.KeyEqual(v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			p.valIndex[h] = append(p.valIndex[h], valSub{v: v, subset: sub})
+		}
 	}
 	return p
 }

@@ -17,6 +17,12 @@ import (
 // attributes).
 type Class []int
 
+// Hash64 returns a 64-bit hash of the class (subset indexes folded through
+// the relation kernel's word hash). Kernel paths bucket classes by it and
+// verify with Equal on collision, so Key strings are built once per
+// distinct class, not once per tuple.
+func (c Class) Hash64() uint64 { return relation.HashInts(c) }
+
 // Key returns a canonical encoding usable as a map key.
 func (c Class) Key() string {
 	var b strings.Builder
@@ -171,15 +177,25 @@ func NewSpace(joined *relation.Relation, queries []*algebra.Query) (*Space, erro
 // ClassOf maps a joined tuple to its tuple class.
 func (s *Space) ClassOf(t relation.Tuple) (Class, error) {
 	c := make(Class, len(s.Parts))
+	if err := s.classInto(c, t); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// classInto is ClassOf into a caller-provided buffer (len(s.Parts)), so
+// per-tuple loops like SourceClasses allocate a Class only when a new
+// distinct class actually appears.
+func (s *Space) classInto(c Class, t relation.Tuple) error {
 	for i, p := range s.Parts {
 		sub := p.SubsetOf(t[p.Col])
 		if sub < 0 {
-			return nil, fmt.Errorf("tupleclass: value %s of %s falls outside the probed partition",
+			return fmt.Errorf("tupleclass: value %s of %s falls outside the probed partition",
 				t[p.Col], p.Attr)
 		}
 		c[i] = sub
 	}
-	return c, nil
+	return nil
 }
 
 // Matches reports whether every tuple of class c satisfies query qi — the
@@ -226,30 +242,37 @@ type SourceClass struct {
 
 // SourceClasses maps every joined tuple to its class and returns the
 // occupied classes sorted by key (deterministic enumeration order for
-// Algorithm 3).
+// Algorithm 3). Tuples are bucketed by class hash with Equal verification
+// on collision, so the per-tuple cost is a hash fold — class buffers and
+// Key strings materialise only once per distinct class.
 func (s *Space) SourceClasses() ([]SourceClass, error) {
-	byKey := make(map[string]*SourceClass)
+	byHash := make(map[uint64][]*SourceClass)
+	var all []*SourceClass
+	scratch := make(Class, len(s.Parts))
 	for i, t := range s.Joined.Tuples {
-		c, err := s.ClassOf(t)
-		if err != nil {
+		if err := s.classInto(scratch, t); err != nil {
 			return nil, err
 		}
-		k := c.Key()
-		sc := byKey[k]
+		h := scratch.Hash64()
+		var sc *SourceClass
+		for _, cand := range byHash[h] {
+			if cand.Class.Equal(scratch) {
+				sc = cand
+				break
+			}
+		}
 		if sc == nil {
-			sc = &SourceClass{Class: c, Key: k}
-			byKey[k] = sc
+			c := scratch.Clone()
+			sc = &SourceClass{Class: c, Key: c.Key()}
+			byHash[h] = append(byHash[h], sc)
+			all = append(all, sc)
 		}
 		sc.Rows = append(sc.Rows, i)
 	}
-	out := make([]SourceClass, 0, len(byKey))
-	keys := make([]string, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		out = append(out, *byKey[k])
+	sort.Slice(all, func(a, b int) bool { return all[a].Key < all[b].Key })
+	out := make([]SourceClass, 0, len(all))
+	for _, sc := range all {
+		out = append(out, *sc)
 	}
 	return out, nil
 }
