@@ -6,7 +6,7 @@ GO ?= go
 # Restrict with e.g. `make bench BENCH=BenchmarkMicro` for a faster run.
 BENCH ?= .
 
-.PHONY: build test race bench bench-micro
+.PHONY: build test race bench bench-micro sim sim-smoke
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,18 @@ bench:
 # The smoke variant CI runs: every micro benchmark once, allocations shown.
 bench-micro:
 	$(GO) test -bench BenchmarkMicro -benchmem -benchtime 1x -run '^$$' ./...
+
+# Small seeded simulation gate (CI): generate a corpus, drive every scenario
+# through a full QFE session under target feedback, and fail on any
+# invariant violation or non-convergence. ~30s ceiling on one core.
+sim-smoke:
+	$(GO) run ./cmd/qfe-sim generate -n 25 -seed 7 -out /tmp/qfe-sim-smoke.jsonl
+	$(GO) run ./cmd/qfe-sim run -corpus /tmp/qfe-sim-smoke.jsonl -policy target \
+		-fresh 1 -require-converge 1.0 -report /tmp/qfe-sim-smoke-report.json
+
+# Full simulation benchmark: the 100-scenario corpus of EXPERIMENTS.md,
+# recorded as BENCH_sim.json (deterministic modulo the timing block).
+sim:
+	$(GO) run ./cmd/qfe-sim generate -n 100 -seed 1 -out corpus_sim.jsonl
+	$(GO) run ./cmd/qfe-sim run -corpus corpus_sim.jsonl -policy target \
+		-fresh 2 -require-converge 0.95 -report BENCH_sim.json

@@ -464,6 +464,12 @@ func (s *Session) beginGroup(qc []*algebra.Query) error {
 		if err != nil {
 			return err
 		}
+		// Same modification model as the Database Generator: join-key
+		// columns are structural and never modified, so candidates that
+		// differ only on them are indistinguishable by any reachable
+		// database and merge here instead of burning winnowing rounds that
+		// must end in ErrNoSplit.
+		space.Freeze(joined.KeyCols)
 		eq := space.IndistinguishableGroupsParallel(s.Config.MaxEquivClasses, s.Config.Parallelism)
 		s.reps = s.reps[:0:0]
 		for _, grp := range eq {

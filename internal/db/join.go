@@ -2,6 +2,7 @@ package db
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -30,6 +31,14 @@ type Joined struct {
 	Prov [][]int
 	// Cols maps each joined column (by position) to its source.
 	Cols []ColRef
+	// KeyCols lists the qualified column names (sorted, deduplicated) that
+	// participate in a join condition of this join — the FK child and parent
+	// columns of every edge between the joined tables. These columns are
+	// structural: changing one of their values rewires which base tuples
+	// join, so the single-tuple modification model (§5, in-place joined-tuple
+	// replacement) does not apply to them. The database generator freezes
+	// them in its tuple-class space.
+	KeyCols []string
 
 	// fromBase[table][row] lists joined-tuple indexes that include that base
 	// row; rows joining nothing are absent.
@@ -129,7 +138,13 @@ func Join(d *Database, tables []string) (*Joined, error) {
 			if len(conds) == 0 {
 				continue
 			}
-			if err := j.foldIn(d.Table(name), conds); err != nil {
+			in := d.Table(name)
+			for _, c := range conds {
+				j.KeyCols = append(j.KeyCols,
+					j.Rel.Schema[c.joinedCol].Name,
+					in.Name+"."+in.Schema[c.newCol].Name)
+			}
+			if err := j.foldIn(in, conds); err != nil {
 				return nil, err
 			}
 			remaining = append(remaining[:ri], remaining[ri+1:]...)
@@ -141,8 +156,21 @@ func Join(d *Database, tables []string) (*Joined, error) {
 				remaining, j.Tables)
 		}
 	}
+	sort.Strings(j.KeyCols)
+	j.KeyCols = dedupeSorted(j.KeyCols)
 	j.buildReverseIndex()
 	return j, nil
+}
+
+// dedupeSorted removes adjacent duplicates in place.
+func dedupeSorted(ss []string) []string {
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // JoinAll joins every table of the database (the §5 assumption that all

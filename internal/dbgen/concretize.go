@@ -62,7 +62,7 @@ func (g *Generator) concretize(pairs []tupleclass.Pair) (*Result, error) {
 		}
 	}
 	if len(edits) == 0 {
-		return nil, fmt.Errorf("dbgen: no pair of the chosen set could be concretized validly")
+		return nil, errNotRealizable
 	}
 
 	parts, results, resultCosts, err := g.partitionConcrete(edits)

@@ -108,6 +108,12 @@ func DefaultOptions() Options {
 // space.
 var ErrNoSplit = errors.New("dbgen: no database modification distinguishes the remaining candidates")
 
+// errNotRealizable reports that no pair of a chosen set survived
+// concretization (integrity-constraint rejections, conflicting base rows).
+// It is the one concretize failure Generate may degrade on; any other error
+// is a genuine engine fault and propagates.
+var errNotRealizable = errors.New("dbgen: no pair of the chosen set could be concretized validly")
+
 // Generator winnows one candidate set against one database. It is built
 // once per QFE iteration (the space depends on QC).
 type Generator struct {
@@ -134,6 +140,12 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 	if err != nil {
 		return nil, err
 	}
+	// Join-key columns are structural: an edit to one changes which base
+	// tuples join, which the delta model (in-place joined-tuple replacement,
+	// Lemma 5.1) cannot predict. Freeze them so no enumerated modification
+	// touches them; candidates differing only there surface as ErrNoSplit
+	// (provably indistinguishable within the reachable modification space).
+	space.Freeze(joined.KeyCols)
 	g := &Generator{DB: d, Joined: joined, Space: space, Queries: queries, R: r, Opts: opts}
 	g.baseResults = make([]*relation.Relation, len(queries))
 	if err := g.evaluateBase(); err != nil {
@@ -234,10 +246,12 @@ func (g *Generator) Generate() (*Result, error) {
 	t0 := time.Now()
 	sp, stats := g.SkylinePairs()
 	alg3 := time.Since(t0)
+	scanned := false // whether sp already is the unbudgeted scan's output
 	if len(sp) == 0 {
 		// Budgeted enumeration found nothing; do an unbudgeted scan for any
 		// splitting pair before declaring equivalence.
 		sp = g.anySplittingPairs(64)
+		scanned = true
 		if len(sp) == 0 {
 			return nil, ErrNoSplit
 		}
@@ -251,15 +265,17 @@ func (g *Generator) Generate() (*Result, error) {
 	alg4 := time.Since(t1)
 
 	t2 := time.Now()
-	var lastErr error
 	for _, cand := range candidates {
 		res, err := g.concretize(cand.Pairs)
 		if err != nil {
-			lastErr = err
+			if !errors.Is(err, errNotRealizable) {
+				// Engine fault, not a constraint rejection: surface it
+				// instead of masking it with a coarser split.
+				return nil, fmt.Errorf("dbgen: concretize: %w", err)
+			}
 			continue
 		}
 		if len(res.Partition) < 2 {
-			lastErr = ErrNoSplit
 			continue // side effects collapsed the predicted split; try next
 		}
 		res.SkylinePairs = len(sp)
@@ -270,10 +286,46 @@ func (g *Generator) Generate() (*Result, error) {
 		res.ConcretizeTime = time.Since(t2)
 		return res, nil
 	}
-	if lastErr == nil {
-		lastErr = ErrNoSplit
+	// None of the optimal sets was realizable (integrity-constraint
+	// rejections or conflicting base rows). Rather than fail the round, fall
+	// back to realizing any single splitting pair: a coarse binary split
+	// keeps winnowing moving, matching the paper's behaviour under budget
+	// truncation. Only when no enumerated pair concretizes at all are the
+	// remaining candidates unseparable within the reachable, constraint-
+	// respecting modification space — which is ErrNoSplit, not a failure.
+	fallback := append([]ScoredPair(nil), sp...)
+	if len(fallback) > 128 {
+		fallback = fallback[:128]
 	}
-	return nil, fmt.Errorf("dbgen: no candidate set concretized: %w", lastErr)
+	if !scanned {
+		fallback = append(fallback, g.anySplittingPairs(64)...)
+	}
+	tried := make(map[string]bool, len(fallback))
+	for _, p := range fallback {
+		if k := p.Pair.Key(); tried[k] {
+			continue
+		} else {
+			tried[k] = true
+		}
+		res, err := g.concretize([]tupleclass.Pair{p.Pair})
+		if err != nil {
+			if !errors.Is(err, errNotRealizable) {
+				return nil, fmt.Errorf("dbgen: concretize: %w", err)
+			}
+			continue
+		}
+		if len(res.Partition) < 2 {
+			continue
+		}
+		res.SkylinePairs = len(sp)
+		res.EnumeratedPairs = stats.Enumerated
+		res.X = stats.X
+		res.Alg3Time = alg3
+		res.Alg4Time = alg4
+		res.ConcretizeTime = time.Since(t2)
+		return res, nil
+	}
+	return nil, ErrNoSplit
 }
 
 // partitionConcrete evaluates every query incrementally against the edits

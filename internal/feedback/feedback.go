@@ -73,23 +73,30 @@ type Target struct {
 	Query *algebra.Query
 }
 
-// Choose implements Oracle.
+// Choose implements Oracle. An exact (bag) match is preferred: the target's
+// true result, as the user would see it printed, including multiplicities.
+// For DISTINCT targets a set-level match is the fallback — a block
+// materialised under bag semantics can be set-equal to the target's
+// collapsed result without being identical, and picking such a block over
+// an exact match would follow a different query than the user's (the
+// simulation harness's invariant checks caught exactly that misstep).
 func (t Target) Choose(v View) (int, bool, error) {
 	want, err := t.Query.Evaluate(v.NewDB)
 	if err != nil {
 		return 0, false, fmt.Errorf("feedback: evaluating target: %w", err)
 	}
 	wantFP := want.Fingerprint()
-	if t.Query.Distinct {
-		wantFP = want.SetFingerprint()
-	}
 	for i, r := range v.Results {
-		fp := r.Fingerprint()
-		if t.Query.Distinct {
-			fp = r.SetFingerprint()
-		}
-		if fp == wantFP {
+		if r.Fingerprint() == wantFP {
 			return i, true, nil
+		}
+	}
+	if t.Query.Distinct {
+		wantSet := want.SetFingerprint()
+		for i, r := range v.Results {
+			if r.SetFingerprint() == wantSet {
+				return i, true, nil
+			}
 		}
 	}
 	return 0, false, nil // target's result not among the candidates

@@ -1,0 +1,72 @@
+package feedback
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// ErrAbandoned is returned by Abandoning once its round allowance is spent:
+// the simulated user walks away mid-session. Drivers treat it as an
+// abandonment signal, not a failure (internal/simulate counts the session
+// abandoned; a service would evict it via TTL).
+var ErrAbandoned = errors.New("feedback: user abandoned the session")
+
+// Noisy wraps an oracle with a seeded error model: with probability Rate it
+// replaces the inner choice with a uniformly random *wrong* answer (a
+// different result index, or "none of these" when only one result is
+// shown). It models users who mis-read a round — the failure mode the §7.7
+// user study worried about — and lets the simulation harness measure how
+// winnowing degrades under unreliable feedback.
+type Noisy struct {
+	Inner Oracle
+	Rate  float64
+	rng   *rand.Rand
+}
+
+// NewNoisy builds a noisy wrapper with its own deterministic random stream.
+func NewNoisy(inner Oracle, rate float64, seed int64) *Noisy {
+	return &Noisy{Inner: inner, Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements Oracle.
+func (n *Noisy) Choose(v View) (int, bool, error) {
+	choice, ok, err := n.Inner.Choose(v)
+	if err != nil {
+		return choice, ok, err
+	}
+	if n.rng.Float64() >= n.Rate {
+		return choice, ok, nil
+	}
+	k := len(v.Results)
+	if !ok || k <= 1 {
+		// The inner oracle said "none of these" (flip to an arbitrary claim)
+		// or there is no other index to mis-pick: answer "none of these".
+		if !ok && k > 0 {
+			return n.rng.Intn(k), true, nil
+		}
+		return 0, false, nil
+	}
+	j := n.rng.Intn(k - 1)
+	if j >= choice {
+		j++
+	}
+	return j, true, nil
+}
+
+// Abandoning wraps an oracle with a patience budget: it answers After
+// rounds normally, then returns ErrAbandoned. After <= 0 abandons on the
+// first round.
+type Abandoning struct {
+	Inner    Oracle
+	After    int
+	answered int
+}
+
+// Choose implements Oracle.
+func (a *Abandoning) Choose(v View) (int, bool, error) {
+	if a.answered >= a.After {
+		return 0, false, ErrAbandoned
+	}
+	a.answered++
+	return a.Inner.Choose(v)
+}

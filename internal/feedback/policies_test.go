@@ -1,0 +1,136 @@
+package feedback
+
+import (
+	"errors"
+	"testing"
+
+	"qfe/internal/algebra"
+	"qfe/internal/db"
+	"qfe/internal/relation"
+)
+
+// distinctFixture builds a one-table database and a DISTINCT target whose
+// result on it is {a, b}.
+func distinctFixture(t *testing.T) (*db.Database, *relation.Relation, *algebra.Query) {
+	t.Helper()
+	d := db.New()
+	tbl := relation.New("T", relation.NewSchema("name", relation.KindString))
+	tbl.Append(relation.NewTuple("a"), relation.NewTuple("a"), relation.NewTuple("b"))
+	d.MustAddTable(tbl)
+	q := &algebra.Query{Tables: []string{"T"}, Projection: []string{"T.name"}, Distinct: true}
+	r, err := q.Evaluate(d)
+	if err != nil {
+		t.Fatalf("fixture target: %v", err)
+	}
+	return d, r, q
+}
+
+// stubOracle always answers a fixed choice.
+type stubOracle struct {
+	choice int
+	ok     bool
+}
+
+func (s stubOracle) Choose(View) (int, bool, error) { return s.choice, s.ok, nil }
+
+func viewWithResults(k int) View {
+	rs := make([]*relation.Relation, k)
+	gs := make([][]int, k)
+	for i := range rs {
+		rs[i] = relation.New("R", relation.NewSchema("a", relation.KindInt))
+		gs[i] = []int{i}
+	}
+	return View{Results: rs, Groups: gs}
+}
+
+func TestNoisyRateZeroIsTransparent(t *testing.T) {
+	n := NewNoisy(stubOracle{choice: 2, ok: true}, 0, 1)
+	for i := 0; i < 50; i++ {
+		c, ok, err := n.Choose(viewWithResults(4))
+		if err != nil || !ok || c != 2 {
+			t.Fatalf("rate 0 flipped the inner choice: %d %v %v", c, ok, err)
+		}
+	}
+}
+
+func TestNoisyRateOneAlwaysWrong(t *testing.T) {
+	n := NewNoisy(stubOracle{choice: 1, ok: true}, 1, 2)
+	for i := 0; i < 100; i++ {
+		c, ok, err := n.Choose(viewWithResults(3))
+		if err != nil {
+			t.Fatalf("Choose: %v", err)
+		}
+		if ok && c == 1 {
+			t.Fatal("rate 1 returned the inner (correct) choice")
+		}
+		if ok && (c < 0 || c >= 3) {
+			t.Fatalf("choice %d out of range", c)
+		}
+	}
+}
+
+func TestNoisySingleResultFlipsToNone(t *testing.T) {
+	n := NewNoisy(stubOracle{choice: 0, ok: true}, 1, 3)
+	if _, ok, err := n.Choose(viewWithResults(1)); err != nil || ok {
+		t.Fatalf("want ok=false on single-result flip, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNoisyDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		n := NewNoisy(stubOracle{choice: 0, ok: true}, 0.5, seed)
+		var out []int
+		for i := 0; i < 32; i++ {
+			c, ok, _ := n.Choose(viewWithResults(4))
+			if !ok {
+				c = -1
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAbandoningStopsAfterBudget(t *testing.T) {
+	a := &Abandoning{Inner: stubOracle{choice: 0, ok: true}, After: 2}
+	for i := 0; i < 2; i++ {
+		if _, _, err := a.Choose(viewWithResults(2)); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if _, _, err := a.Choose(viewWithResults(2)); !errors.Is(err, ErrAbandoned) {
+		t.Fatalf("want ErrAbandoned, got %v", err)
+	}
+}
+
+// TestTargetPrefersExactMatch: a DISTINCT target must pick the block whose
+// materialised result is identical to its own collapsed result, not a
+// bag-semantics block that merely has the same distinct tuple set (the
+// regression the simulation harness's invariants caught).
+func TestTargetPrefersExactMatch(t *testing.T) {
+	d, r, q := distinctFixture(t)
+	_ = r
+	// Bag block {a, a, b}; exact block {a, b}.
+	bag := relation.New("R1", relation.NewSchema("name", relation.KindString))
+	bag.Append(relation.NewTuple("a"), relation.NewTuple("a"), relation.NewTuple("b"))
+	exact := relation.New("R2", relation.NewSchema("name", relation.KindString))
+	exact.Append(relation.NewTuple("a"), relation.NewTuple("b"))
+	v := View{
+		NewDB:   d,
+		Results: []*relation.Relation{bag, exact},
+		Groups:  [][]int{{0}, {1}},
+	}
+	choice, ok, err := Target{Query: q}.Choose(v)
+	if err != nil || !ok {
+		t.Fatalf("Choose: ok=%v err=%v", ok, err)
+	}
+	if choice != 1 {
+		t.Fatalf("chose block %d, want the exact match (1)", choice)
+	}
+}

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"fmt"
+
+	"qfe/internal/algebra"
+	"qfe/internal/datasets"
+	"qfe/internal/db"
+)
+
+// Curated returns the repository's three hand-built datasets (paper §7.1,
+// §7.7) as corpus entries — one scenario per study query — so qfe-sim can
+// mix curated and generated scenarios in a single run. Curated scenarios
+// carry no generation options: the differential oracle checks them on D
+// only (no fresh databases).
+func Curated() ([]*Scenario, error) {
+	var out []*Scenario
+	add := func(dataset string, d *db.Database, queries ...*algebra.Query) error {
+		for _, q := range queries {
+			r, err := q.Evaluate(d)
+			if err != nil {
+				return fmt.Errorf("scenario: curated %s/%s: %w", dataset, q.Name, err)
+			}
+			r.Name = "R"
+			out = append(out, &Scenario{
+				Name:   dataset + "/" + q.Name,
+				Kind:   KindCurated,
+				DB:     d,
+				Target: q,
+				R:      r,
+			})
+		}
+		return nil
+	}
+	sci := datasets.NewScientific()
+	if err := add("scientific", sci.DB, sci.Q1, sci.Q2); err != nil {
+		return nil, err
+	}
+	bb := datasets.NewBaseball()
+	if err := add("baseball", bb.DB, bb.Q3, bb.Q4, bb.Q5, bb.Q6); err != nil {
+		return nil, err
+	}
+	ad := datasets.NewAdult()
+	if err := add("adult", ad.DB, ad.Targets...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

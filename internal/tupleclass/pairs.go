@@ -351,9 +351,13 @@ func (s *Space) queryParts(qi int) []int {
 	return out
 }
 
-// equivalentPair reports whether queries qi and qj agree on every class of
-// the joint space of their own predicate attributes. It returns false
-// (distinguishable) when that space exceeds maxCombos.
+// equivalentPair reports whether queries qi and qj agree on every
+// *reachable* class of the joint space of their own predicate attributes:
+// free attributes range over their whole partition, frozen attributes only
+// over the subsets realized by the joined tuples (a reachable modification
+// never changes a frozen value, so unrealized frozen coordinates cannot
+// occur on any reachable database). It returns false (distinguishable)
+// when that space exceeds maxCombos.
 func (s *Space) equivalentPair(qi, qj, maxCombos int) bool {
 	partSet := map[int]bool{}
 	for _, p := range s.queryParts(qi) {
@@ -368,9 +372,20 @@ func (s *Space) equivalentPair(qi, qj, maxCombos int) bool {
 	}
 	sort.Ints(parts)
 
+	// options[i] is the subset range explored for parts[i]; nil means the
+	// whole partition.
+	options := make([][]int, len(parts))
 	combos := 1
-	for _, p := range parts {
-		combos *= len(s.Parts[p].Subsets)
+	for i, p := range parts {
+		n := len(s.Parts[p].Subsets)
+		if s.frozen[p] && s.realized != nil {
+			options[i] = s.realized[p]
+			n = len(options[i])
+		}
+		if n == 0 {
+			return true // no reachable class involves this attribute
+		}
+		combos *= n
 		if combos > maxCombos {
 			return false
 		}
@@ -382,6 +397,15 @@ func (s *Space) equivalentPair(qi, qj, maxCombos int) bool {
 			return s.Matches(c, qi) == s.Matches(c, qj)
 		}
 		p := parts[i]
+		if opts := options[i]; opts != nil {
+			for _, sub := range opts {
+				c[p] = sub
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			return true
+		}
 		for sub := range s.Parts[p].Subsets {
 			c[p] = sub
 			if !rec(i + 1) {

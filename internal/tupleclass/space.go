@@ -82,6 +82,17 @@ type Space struct {
 	// across all queries); Parts is aligned with it.
 	Attrs []string
 	Parts []*Partition
+	// frozen marks attributes (aligned with Attrs) the modification model
+	// must not change — join-key columns, whose values decide which base
+	// tuples join (see Freeze). EnumerateClassesAt never varies a frozen
+	// position, so no planned (STC, DTC) pair rewrites join structure.
+	frozen []bool
+	// realized[i] lists the subset indexes of Parts[i] occupied by the
+	// joined tuples (sorted), computed by Freeze. Reachable modifications
+	// keep every tuple's frozen values, so equivalence over the class space
+	// restricts frozen attributes to these subsets: classes with unrealized
+	// frozen coordinates can never arise on a reachable database.
+	realized [][]int
 
 	// programs[q] holds, per conjunct of query q, the refs of its terms.
 	programs [][][]termRef
@@ -119,6 +130,7 @@ func NewSpace(joined *relation.Relation, queries []*algebra.Query) (*Space, erro
 		attrIdx[a] = i
 	}
 
+	s.frozen = make([]bool, len(s.Attrs))
 	s.Parts = make([]*Partition, len(s.Attrs))
 	for i, a := range s.Attrs {
 		col := joined.Schema.IndexOf(a)
@@ -277,10 +289,63 @@ func (s *Space) SourceClasses() ([]SourceClass, error) {
 	return out, nil
 }
 
+// Freeze marks the named attributes (qualified joined-schema columns) as
+// structurally unmodifiable. A frozen attribute still participates in tuple
+// classification and query membership — its value varies across existing
+// tuples — but EnumerateClassesAt never changes it, so the modification
+// space contains no edit to it, and IndistinguishableGroups restricts it
+// to the subsets the joined tuples actually occupy (any reachable database
+// keeps each tuple's frozen values). Callers freeze the join-key columns
+// (db.Joined.KeyCols): editing one would change which base tuples join,
+// which the in-place replacement model of Lemma 5.1 cannot predict.
+//
+// Freeze is not safe to call concurrently with the Space's other methods;
+// call it right after NewSpace, before the space is shared.
+func (s *Space) Freeze(attrs []string) {
+	matched := false
+	for _, a := range attrs {
+		for i, b := range s.Attrs {
+			if a == b {
+				s.frozen[i] = true
+				matched = true
+			}
+		}
+	}
+	if !matched || s.realized != nil {
+		return
+	}
+	// Record the realized subset per frozen (indeed, per) partition once;
+	// equivalence checks consult it for frozen positions only.
+	seen := make([]map[int]bool, len(s.Parts))
+	for i := range seen {
+		seen[i] = make(map[int]bool)
+	}
+	for _, t := range s.Joined.Tuples {
+		for i, p := range s.Parts {
+			if sub := p.SubsetOf(t[p.Col]); sub >= 0 {
+				seen[i][sub] = true
+			}
+		}
+	}
+	s.realized = make([][]int, len(s.Parts))
+	for i, m := range seen {
+		subs := make([]int, 0, len(m))
+		for sub := range m {
+			subs = append(subs, sub)
+		}
+		sort.Ints(subs)
+		s.realized[i] = subs
+	}
+}
+
+// Frozen reports whether Attrs[i] is frozen.
+func (s *Space) Frozen(i int) bool { return s.frozen[i] }
+
 // EnumerateClassesAt enumerates destination classes at exactly Hamming
 // distance dist from src, in deterministic order, invoking yield for each.
 // Enumeration stops early when yield returns false. This generates the DTC
-// candidates of Algorithm 3's i-th round.
+// candidates of Algorithm 3's i-th round. Frozen attributes are never
+// varied (see Freeze).
 func (s *Space) EnumerateClassesAt(src Class, dist int, yield func(Class) bool) {
 	n := len(s.Parts)
 	if dist <= 0 || dist > n {
@@ -294,6 +359,9 @@ func (s *Space) EnumerateClassesAt(src Class, dist int, yield func(Class) bool) 
 			return yield(current.Clone())
 		}
 		for p := start; p < n; p++ {
+			if s.frozen[p] {
+				continue
+			}
 			if n-p < dist-len(positions) {
 				break
 			}
