@@ -6,7 +6,7 @@ GO ?= go
 # Restrict with e.g. `make bench BENCH=BenchmarkMicro` for a faster run.
 BENCH ?= .
 
-.PHONY: build test race bench bench-micro sim sim-smoke
+.PHONY: build test race bench bench-micro bench-batch bench-guard sim sim-smoke
 
 build:
 	$(GO) build ./...
@@ -17,14 +17,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark sweep with allocation counts, teed into BENCH_kernel.json
-# so before/after kernel comparisons have a durable artifact.
+# Full benchmark sweep with allocation counts, teed into BENCH_batch.json —
+# the durable artifact of the columnar batch-engine PR (BENCH_kernel.json
+# remains the PR 3 hash-kernel record).
 bench:
-	$(GO) test -bench $(BENCH) -benchmem -run '^$$' | tee BENCH_kernel.json
+	$(GO) test -bench $(BENCH) -benchmem -run '^$$' | tee BENCH_batch.json
 
 # The smoke variant CI runs: every micro benchmark once, allocations shown.
 bench-micro:
 	$(GO) test -bench BenchmarkMicro -benchmem -benchtime 1x -run '^$$' ./...
+
+# Focused batch-engine benchmarks: the shared-scan evaluator against the
+# scalar reference, plus the two acceptance gates.
+bench-batch:
+	$(GO) test -bench 'BenchmarkMicroBatchEval|BenchmarkMicroFullSession|BenchmarkMicroAlg4Parallelism' \
+		-benchmem -run '^$$' .
+
+# Allocation-regression gate (CI): fail when MicroFullSession allocs/op
+# exceeds the recorded BENCH_baseline.txt by more than 20%. Refresh the
+# baseline after an intentional change with scripts/bench_guard.sh --record.
+bench-guard:
+	./scripts/bench_guard.sh
 
 # Small seeded simulation gate (CI): generate a corpus, drive every scenario
 # through a full QFE session under target feedback, and fail on any

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"testing"
 
+	"qfe/internal/algebra"
 	"qfe/internal/dbgen"
 	"qfe/internal/experiments"
 	"qfe/internal/feedback"
@@ -303,6 +304,42 @@ func BenchmarkMicroEvalCache(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			newGen(b, cache)
+		}
+	})
+}
+
+// BenchmarkMicroBatchEval compares one round's candidate evaluation done the
+// scalar way (one row-at-a-time scan per candidate) against the columnar
+// batch engine's single shared scan (DESIGN.md §9) on the scientific Q1
+// candidate set. The columnar build is memoised on the join, exactly as the
+// winnowing loop sees it; the per-iteration cost is the scan itself.
+func BenchmarkMicroBatchEval(b *testing.B) {
+	b.ReportAllocs()
+	sc, err := experiments.ScientificScenario("Q1", 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := Join(sc.DB, sc.QC[0].Tables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := j.Columnar()
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range sc.QC {
+				if _, err := q.EvaluateOnJoined(j.Rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.BatchEvaluateOnJoined(sc.QC, col); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,0 +1,494 @@
+// Columnar batch evaluation (DESIGN.md §9).
+//
+// The winnowing loop evaluates every surviving candidate against the same
+// joined relation each round. The scalar path (EvaluateOnJoined /
+// DeltaOnJoined) pays one full row-at-a-time scan per candidate; the batch
+// path here pays ONE shared pass for a whole candidate group:
+//
+//   - every candidate's DNF predicate is flattened into term ids over a
+//     shared, deduplicated term table (candidates overwhelmingly share
+//     terms — covering bounds, cluster equalities);
+//   - each unique term is evaluated once per dictionary code of its column
+//     (relation.Columnar; outcomes are constant on KeyEqual classes, see
+//     that file's invariant note) and expanded into a selection bit vector
+//     over all rows;
+//   - per candidate, the DNF combines term bit vectors with word-wide
+//     AND/OR — 64 rows per machine op;
+//   - materialisation (projection, DISTINCT) is shared between candidates
+//     with the same projection and selection vector, which is exactly the
+//     candidates one result-partition block holds.
+//
+// Every function in this file is observationally identical to its scalar
+// counterpart — same tuples, same order, same errors — which the
+// differential tests in batch_test.go assert, including under forced hash
+// collisions. The scalar path stays the reference implementation and keeps
+// serving single-query callers.
+package algebra
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+	"sort"
+
+	"qfe/internal/relation"
+)
+
+// batchProgram is the compiled form of a candidate batch: a deduplicated
+// term table plus, per query, the DNF structure as term ids.
+type batchProgram struct {
+	terms []Term
+	cols  []int // terms[i]'s column in the joined schema, -1 when absent
+	progs [][][]int
+}
+
+// termsStructEqual reports whether two terms denote the same comparison —
+// the same equivalence Term.Key encodes, decided without building keys.
+func termsStructEqual(a, b *Term) bool {
+	if a.Attr != b.Attr || a.Op != b.Op || len(a.Set) != len(b.Set) {
+		return false
+	}
+	if a.Op == OpIn || a.Op == OpNotIn {
+		// Sets are kept sorted by NewSetTerm, so positional comparison is
+		// canonical.
+		for i := range a.Set {
+			if !a.Set[i].KeyEqual(b.Set[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return a.Const.KeyEqual(b.Const)
+}
+
+// compileBatch flattens the queries' predicates over a shared term table.
+// Terms are deduplicated structurally (no key strings), so a term shared by
+// many candidates is evaluated once per scan. The table stays small — it
+// holds one entry per distinct comparison across the whole batch — so a
+// hash-bucketed linear scan is cheaper than string-keyed map probes.
+func compileBatch(queries []*Query, schema relation.Schema) *batchProgram {
+	bp := &batchProgram{progs: make([][][]int, len(queries))}
+	buckets := make(map[uint64][]int)
+	for qi, q := range queries {
+		conjs := make([][]int, len(q.Pred))
+		for ci, conj := range q.Pred {
+			ids := make([]int, len(conj))
+			for ti := range conj {
+				t := &conj[ti]
+				h := hashTerm(t)
+				id := -1
+				for _, cand := range buckets[h] {
+					if termsStructEqual(&bp.terms[cand], t) {
+						id = cand
+						break
+					}
+				}
+				if id < 0 {
+					id = len(bp.terms)
+					bp.terms = append(bp.terms, *t)
+					bp.cols = append(bp.cols, schema.IndexOf(t.Attr))
+					buckets[h] = append(buckets[h], id)
+				}
+				ids[ti] = id
+			}
+			conjs[ci] = ids
+		}
+		bp.progs[qi] = conjs
+	}
+	return bp
+}
+
+// hashTerm folds a term's attribute, operator and constant(s) into a bucket
+// hash; equality is always verified by termsStructEqual.
+func hashTerm(t *Term) uint64 {
+	h := uint64(hashWordsOffset)
+	for i := 0; i < len(t.Attr); i++ {
+		h = (h ^ uint64(t.Attr[i])) * hashWordsPrime
+	}
+	h = (h ^ uint64(t.Op)) * hashWordsPrime
+	if t.Op == OpIn || t.Op == OpNotIn {
+		for _, v := range t.Set {
+			h = (h ^ v.Hash64()) * hashWordsPrime
+		}
+	} else {
+		h = (h ^ t.Const.Hash64()) * hashWordsPrime
+	}
+	return h
+}
+
+// termBitmaps evaluates every unique term once per dictionary code and
+// expands the outcomes into per-term row bit vectors. A term whose column is
+// missing from the schema gets a nil vector (constant false, mirroring the
+// scalar Compile behaviour).
+func (bp *batchProgram) termBitmaps(col *relation.Columnar, words int) [][]uint64 {
+	tb := make([][]uint64, len(bp.terms))
+	// One backing array for all term bitmaps plus one reusable outcome
+	// buffer: two allocations for the whole table.
+	arena := make([]uint64, len(bp.terms)*words)
+	var outcome []bool
+	for ti := range bp.terms {
+		ci := bp.cols[ti]
+		if ci < 0 {
+			continue
+		}
+		t := &bp.terms[ti]
+		cd := col.Col(ci)
+		if cap(outcome) < len(cd.Dict) {
+			outcome = make([]bool, len(cd.Dict))
+		}
+		oc := outcome[:len(cd.Dict)]
+		for code, v := range cd.Dict {
+			oc[code] = t.Matches(v)
+		}
+		bm := arena[ti*words : (ti+1)*words : (ti+1)*words]
+		for ri, code := range cd.Codes {
+			if oc[code] {
+				bm[ri>>6] |= 1 << (ri & 63)
+			}
+		}
+		tb[ti] = bm
+	}
+	return tb
+}
+
+// selectionVector combines one query's compiled DNF over the term bit
+// vectors: OR over conjuncts of AND over terms. full is the all-rows vector.
+func selectionVector(prog [][]int, termBits [][]uint64, full []uint64, tmp []uint64) []uint64 {
+	sel := make([]uint64, len(full))
+	if len(prog) == 0 {
+		copy(sel, full)
+		return sel
+	}
+	for _, conj := range prog {
+		copy(tmp, full)
+		alive := true
+		for _, ti := range conj {
+			bm := termBits[ti]
+			if bm == nil {
+				alive = false
+				break
+			}
+			live := false
+			for w := range tmp {
+				tmp[w] &= bm[w]
+				if tmp[w] != 0 {
+					live = true
+				}
+			}
+			if !live {
+				alive = false
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		for w := range sel {
+			sel[w] |= tmp[w]
+		}
+	}
+	return sel
+}
+
+// BatchEvaluateOnJoined evaluates a batch of candidate queries against one
+// joined relation in a single shared scan, returning one result per query in
+// input order. Results are byte-identical to calling EvaluateOnJoined per
+// query (same tuple order, schema and name); queries sharing a projection
+// and a selection vector share the materialised tuple storage, so callers
+// must treat results as immutable — exactly the contract evaluation results
+// already have everywhere (evalcache shares them too).
+func BatchEvaluateOnJoined(queries []*Query, col *relation.Columnar) ([]*relation.Relation, error) {
+	joined := col.Source
+	n := joined.Len()
+	words := (n + 63) / 64
+	full := make([]uint64, words)
+	for w := range full {
+		full[w] = ^uint64(0)
+	}
+	if rem := n % 64; rem != 0 && words > 0 {
+		full[words-1] = 1<<uint(rem) - 1
+	}
+
+	bp := compileBatch(queries, joined.Schema)
+	termBits := bp.termBitmaps(col, words)
+
+	// Selection vectors, deduplicated: queries with equal vectors share one
+	// selID (hash of the words, equality-verified on collision).
+	type selEntry struct {
+		hash uint64
+		sel  []uint64
+	}
+	var sels []selEntry
+	selByHash := make(map[uint64][]int)
+	selID := make([]int, len(queries))
+	tmp := make([]uint64, words)
+	for qi := range queries {
+		sel := selectionVector(bp.progs[qi], termBits, full, tmp)
+		h := hashWords(sel)
+		id := -1
+		for _, cand := range selByHash[h] {
+			if slices.Equal(sels[cand].sel, sel) {
+				id = cand
+				break
+			}
+		}
+		if id < 0 {
+			id = len(sels)
+			sels = append(sels, selEntry{hash: h, sel: sel})
+			selByHash[h] = append(selByHash[h], id)
+		}
+		selID[qi] = id
+	}
+
+	// Materialise each distinct (projection, selection, distinct) combination
+	// once; per-query results wrap the shared storage under the query's name.
+	// The batch holds few distinct combinations (one per partition block), so
+	// a linear scan over direct slice comparisons beats building key strings.
+	type matEntry struct {
+		proj     []string
+		sel      int
+		distinct bool
+		rel      *relation.Relation
+	}
+	var mats []matEntry
+	findShared := func(proj []string, sel int, distinct bool) *relation.Relation {
+		for i := range mats {
+			e := &mats[i]
+			if e.sel == sel && e.distinct == distinct && slices.Equal(e.proj, proj) {
+				return e.rel
+			}
+		}
+		return nil
+	}
+	out := make([]*relation.Relation, len(queries))
+	for qi, q := range queries {
+		rel := findShared(q.Projection, selID[qi], q.Distinct)
+		if rel == nil {
+			// The bag form is materialised (and shared) first; DISTINCT
+			// collapses it exactly as the scalar path does.
+			bag := findShared(q.Projection, selID[qi], false)
+			if bag == nil {
+				var err error
+				bag, err = materializeSelection(joined, sels[selID[qi]].sel, q.Projection)
+				if err != nil {
+					return nil, fmt.Errorf("algebra: evaluate %s: %w", q.Name, err)
+				}
+				mats = append(mats, matEntry{proj: q.Projection, sel: selID[qi], rel: bag})
+			}
+			rel = bag
+			if q.Distinct {
+				rel = bag.Distinct()
+				mats = append(mats, matEntry{proj: q.Projection, sel: selID[qi], distinct: true, rel: rel})
+			}
+		}
+		out[qi] = &relation.Relation{Name: q.Name, Schema: rel.Schema, Tuples: rel.Tuples}
+	}
+	return out, nil
+}
+
+// materializeSelection projects the selected rows, in row order, into a
+// fresh relation whose tuples are carved from one arena allocation.
+func materializeSelection(joined *relation.Relation, sel []uint64, projection []string) (*relation.Relation, error) {
+	schema, err := joined.Schema.Project(projection)
+	if err != nil {
+		return nil, err
+	}
+	projIdx := make([]int, len(projection))
+	for i, name := range projection {
+		projIdx[i] = joined.Schema.IndexOf(name)
+	}
+	count := 0
+	for _, w := range sel {
+		count += bits.OnesCount64(w)
+	}
+	arity := len(projIdx)
+	arena := make([]relation.Value, count*arity)
+	tuples := make([]relation.Tuple, count)
+	k := 0
+	for w, word := range sel {
+		base := w << 6
+		for word != 0 {
+			ri := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			t := joined.Tuples[ri]
+			row := arena[k*arity : (k+1)*arity : (k+1)*arity]
+			for i, j := range projIdx {
+				row[i] = t[j]
+			}
+			tuples[k] = relation.Tuple(row)
+			k++
+		}
+	}
+	return &relation.Relation{Name: joined.Name, Schema: schema, Tuples: tuples}, nil
+}
+
+func hashWords(ws []uint64) uint64 {
+	h := uint64(hashWordsOffset)
+	for _, w := range ws {
+		h = (h ^ w) * hashWordsPrime
+	}
+	return h
+}
+
+// FNV-1a constants, local so this file does not reach into relation's
+// unexported kernel internals; collisions are equality-verified either way.
+const (
+	hashWordsOffset = 14695981039346656037
+	hashWordsPrime  = 1099511628211
+)
+
+// BatchDeltaOnJoined computes every query's ResultDelta for one set of
+// in-place joined-tuple modifications in a single pass over the modified
+// rows: each unique term is evaluated once per modified row (old and new
+// value) instead of once per query, and the per-query Lemma 5.1 case
+// analysis then runs on cached term outcomes. It needs no columnar view —
+// the modified-row count is small, so terms evaluate directly on the
+// tuples. Deltas are byte-identical to DeltaOnJoined per query.
+func BatchDeltaOnJoined(queries []*Query, joined *relation.Relation, modified map[int]relation.Tuple) ([]ResultDelta, error) {
+	rows := make([]int, 0, len(modified))
+	for r := range modified {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for _, r := range rows {
+		if r < 0 || r >= joined.Len() {
+			// Same failure the scalar path reports for each query; the batch
+			// shares one message since every query sees the same rows.
+			return nil, fmt.Errorf("algebra: batch delta: row %d out of range", r)
+		}
+	}
+
+	bp := compileBatch(queries, joined.Schema)
+	rwords := (len(rows) + 63) / 64
+	oldBits := make([][]uint64, len(bp.terms))
+	newBits := make([][]uint64, len(bp.terms))
+	for ti := range bp.terms {
+		ci := bp.cols[ti]
+		if ci < 0 {
+			continue // constant-false term, both sides
+		}
+		t := &bp.terms[ti]
+		ob := make([]uint64, rwords)
+		nb := make([]uint64, rwords)
+		for k, r := range rows {
+			if t.Matches(joined.Tuples[r][ci]) {
+				ob[k>>6] |= 1 << (k & 63)
+			}
+			if t.Matches(modified[r][ci]) {
+				nb[k>>6] |= 1 << (k & 63)
+			}
+		}
+		oldBits[ti] = ob
+		newBits[ti] = nb
+	}
+
+	matchAt := func(prog [][]int, bits [][]uint64, k int) bool {
+		if len(prog) == 0 {
+			return true
+		}
+		w, m := k>>6, uint64(1)<<(k&63)
+		for _, conj := range prog {
+			ok := true
+			for _, ti := range conj {
+				if bits[ti] == nil || bits[ti][w]&m == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	deltas := make([]ResultDelta, len(queries))
+	for qi, q := range queries {
+		projIdx := make([]int, len(q.Projection))
+		for i, name := range q.Projection {
+			j := joined.Schema.IndexOf(name)
+			if j < 0 {
+				return nil, fmt.Errorf("algebra: delta %s: no column %q in join", q.Name, name)
+			}
+			projIdx[i] = j
+		}
+		prog := bp.progs[qi]
+		var delta ResultDelta
+		for k, r := range rows {
+			oldT, newT := joined.Tuples[r], modified[r]
+			oldIn := matchAt(prog, oldBits, k)
+			newIn := matchAt(prog, newBits, k)
+			switch {
+			case oldIn && newIn:
+				ox, nx := oldT.Project(projIdx), newT.Project(projIdx)
+				if !ox.Equal(nx) {
+					delta.Removed = append(delta.Removed, ox)
+					delta.Added = append(delta.Added, nx)
+				}
+			case oldIn && !newIn:
+				delta.Removed = append(delta.Removed, oldT.Project(projIdx))
+			case !oldIn && newIn:
+				delta.Added = append(delta.Added, newT.Project(projIdx))
+			}
+		}
+		deltas[qi] = delta
+	}
+	return deltas, nil
+}
+
+// BatchApplyDelta applies each query's delta to its cached base result and
+// returns the updated relations together with their ResultFP fingerprints,
+// maintaining both incrementally — one combined pass over each base instead
+// of the separate ApplyDelta and DeltaFingerprint scans. materialize selects
+// which queries need the updated relation built (nil = all); fingerprints
+// are computed for every query either way, since partitioning needs them
+// all while only group representatives get materialised. Results and
+// fingerprints are byte-identical to ApplyDelta / DeltaFingerprint.
+func BatchApplyDelta(queries []*Query, bases []*relation.Relation, deltas []ResultDelta, materialize []bool) ([]*relation.Relation, []ResultFP) {
+	results := make([]*relation.Relation, len(queries))
+	fps := make([]ResultFP, len(queries))
+	for qi, q := range queries {
+		want := materialize == nil || materialize[qi]
+		results[qi], fps[qi] = ApplyDeltaFP(q, bases[qi], deltas[qi], want)
+	}
+	return results, fps
+}
+
+// ApplyDeltaFP applies one query's delta to its base result in a single
+// combined pass, returning the updated relation (nil unless materialize)
+// and its ResultFP fingerprint. It is the per-query kernel behind
+// BatchApplyDelta, exposed separately because the per-query work is
+// independent — callers holding a worker pool (dbgen's partitioner) spread
+// it across workers with indexed output slots, keeping results identical at
+// every worker count.
+func ApplyDeltaFP(q *Query, base *relation.Relation, delta ResultDelta, materialize bool) (*relation.Relation, ResultFP) {
+	counts := relation.NewBag(base.Len())
+	// The remove bag feeds only materialisation; fingerprints handle
+	// removals through count decrements below.
+	var remove *relation.Bag
+	var out *relation.Relation
+	if materialize {
+		remove = relation.NewBag(len(delta.Removed))
+		for _, t := range delta.Removed {
+			remove.Inc(t, 1)
+		}
+		out = relation.New(base.Name, base.Schema)
+	}
+	for _, t := range base.Tuples {
+		counts.Inc(t, 1)
+		if materialize && !remove.TakeOne(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	for _, t := range delta.Removed {
+		counts.Inc(t, -1)
+	}
+	for _, t := range delta.Added {
+		counts.Inc(t, 1)
+		if materialize {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	lo, hi := counts.Fingerprint128(q.Distinct)
+	return out, ResultFP{Lo: lo, Hi: hi}
+}

@@ -516,6 +516,11 @@ func (s *Session) complete() {
 	s.pending, s.pendingRes = nil, nil
 }
 
+// joinFor returns the (cached) foreign-key join for the query's schema.
+// Because the per-round generators all receive this shared *db.Joined, its
+// lazily-memoised ContentHash and Columnar views (the batch engine's
+// dictionary-encoded scan input, DESIGN.md §9) are computed once per
+// join-schema group and reused by every winnowing round of the group.
 func (s *Session) joinFor(q *algebra.Query) (*db.Joined, error) {
 	k := q.JoinSchemaKey()
 	if j, ok := s.joins[k]; ok {

@@ -46,6 +46,74 @@ type Joined struct {
 
 	hashOnce sync.Once
 	hash     uint64
+
+	colOnce  sync.Once
+	columnar *relation.Columnar
+
+	// curVals / curProv track the arena currently backing Rel's tuples and
+	// provenance while the join is being folded together; each fold recycles
+	// its predecessor's arenas through the fold pools. The final fold's
+	// arenas are owned by the finished Joined and never recycled.
+	curVals  []relation.Value
+	curProv  []int
+	curDepth int
+}
+
+// Columnar returns the dictionary-encoded columnar view of the joined
+// relation, computed lazily once — like ContentHash, a Joined is immutable
+// after Join returns and all winnowing rounds of a session group share it,
+// so one columnar build serves every batch evaluation of the group.
+func (j *Joined) Columnar() *relation.Columnar {
+	j.colOnce.Do(func() { j.columnar = relation.NewColumnar(j.Rel) })
+	return j.columnar
+}
+
+// Fold-arena pools. Every fold of a join allocates one value arena, one
+// provenance arena and match bookkeeping; all but the final fold's arenas
+// die as soon as the next fold has copied them forward. Repeated joins of
+// the same tables — the β/δ sweeps, qbo's join-schema enumeration, every
+// simulator session — therefore cycle through identically-sized buffers,
+// which the pools hand back instead of reallocating. Pools are keyed by
+// fold depth (capped) so a join's k-th fold tends to find a buffer of
+// exactly the right size.
+const numFoldPools = 8
+
+type foldBuffers struct {
+	vals []relation.Value
+	ints []int
+}
+
+var foldPools [numFoldPools]sync.Pool
+
+func foldPool(depth int) *sync.Pool {
+	if depth >= numFoldPools {
+		depth = numFoldPools - 1
+	}
+	return &foldPools[depth]
+}
+
+// getFoldBuffers returns pooled buffers with at least the requested
+// capacities (resliced to exactly the requested lengths), or fresh ones.
+func getFoldBuffers(depth, nVals, nInts int) *foldBuffers {
+	if v := foldPool(depth).Get(); v != nil {
+		b := v.(*foldBuffers)
+		if cap(b.vals) >= nVals && cap(b.ints) >= nInts {
+			b.vals = b.vals[:nVals]
+			b.ints = b.ints[:nInts]
+			return b
+		}
+	}
+	return &foldBuffers{vals: make([]relation.Value, nVals), ints: make([]int, nInts)}
+}
+
+// recycleCurrent returns the arenas backing the pre-fold Rel to their pool.
+// Only callable once the successor fold has copied every value forward.
+func (j *Joined) recycleCurrent() {
+	if j.curVals == nil && j.curProv == nil {
+		return
+	}
+	foldPool(j.curDepth).Put(&foldBuffers{vals: j.curVals, ints: j.curProv})
+	j.curVals, j.curProv = nil, nil
 }
 
 // ContentHash returns the content hash of the joined relation, computed
@@ -120,8 +188,9 @@ func Join(d *Database, tables []string) (*Joined, error) {
 	j.Rel.Tuples = make([]relation.Tuple, first.Len())
 	j.Prov = make([][]int, first.Len())
 	seedArity := first.Arity()
-	seedArena := make([]relation.Value, first.Len()*seedArity)
-	provArena := make([]int, first.Len())
+	seedBufs := getFoldBuffers(0, first.Len()*seedArity, first.Len())
+	seedArena, provArena := seedBufs.vals, seedBufs.ints
+	j.curVals, j.curProv, j.curDepth = seedArena, provArena, 0
 	for i, t := range first.Tuples {
 		row := seedArena[i*seedArity : (i+1)*seedArity : (i+1)*seedArity]
 		copy(row, t)
@@ -158,6 +227,9 @@ func Join(d *Database, tables []string) (*Joined, error) {
 	}
 	sort.Strings(j.KeyCols)
 	j.KeyCols = dedupeSorted(j.KeyCols)
+	// The final fold's arenas are owned by the finished join; drop the
+	// tracking references so they are never recycled.
+	j.curVals, j.curProv = nil, nil
 	j.buildReverseIndex()
 	return j, nil
 }
@@ -249,9 +321,10 @@ func (j *Joined) foldIn(in *relation.Relation, conds []joinCondition) error {
 
 	// Pass 1: probe with verification, recording the matching incoming rows
 	// per joined tuple (flattened, so the pass allocates O(output), not
-	// O(output rows) separate slices).
-	matches := make([]int, 0, len(j.Rel.Tuples))
-	starts := make([]int, len(j.Rel.Tuples)+1)
+	// O(output rows) separate slices). The bookkeeping slices come from the
+	// scratch pool and go back at the end of the fold.
+	scr := getFoldScratch(len(j.Rel.Tuples))
+	matches, starts := scr.matches[:0], scr.starts
 	for ti, t := range j.Rel.Tuples {
 		starts[ti] = len(matches)
 		for _, ri := range index[t.HashProj(joinedIdx)] {
@@ -262,12 +335,12 @@ func (j *Joined) foldIn(in *relation.Relation, conds []joinCondition) error {
 	}
 	starts[len(j.Rel.Tuples)] = len(matches)
 
-	// Pass 2: materialise output rows from arenas.
+	// Pass 2: materialise output rows from (pooled) arenas.
 	n := len(matches)
 	arity := len(j.Rel.Schema) + in.Arity()
 	provLen := newTableIdx + 1
-	valueArena := make([]relation.Value, n*arity)
-	provArena := make([]int, n*provLen)
+	bufs := getFoldBuffers(newTableIdx, n*arity, n*provLen)
+	valueArena, provArena := bufs.vals, bufs.ints
 	outTuples := make([]relation.Tuple, n)
 	outProv := make([][]int, n)
 	oi := 0
@@ -286,8 +359,36 @@ func (j *Joined) foldIn(in *relation.Relation, conds []joinCondition) error {
 	}
 	j.Rel = &relation.Relation{Name: j.Rel.Name, Schema: newSchema, Tuples: outTuples}
 	j.Prov = outProv
+	// The pre-fold arenas were fully copied forward above: recycle them and
+	// take ownership of this fold's arenas.
+	j.recycleCurrent()
+	j.curVals, j.curProv, j.curDepth = valueArena, provArena, newTableIdx
+	scr.matches = matches
+	putFoldScratch(scr)
 	return nil
 }
+
+// foldScratch holds the per-fold match bookkeeping (pass 1), pooled across
+// joins.
+type foldScratch struct {
+	matches []int
+	starts  []int
+}
+
+var foldScratchPool sync.Pool
+
+func getFoldScratch(tuples int) *foldScratch {
+	if v := foldScratchPool.Get(); v != nil {
+		s := v.(*foldScratch)
+		if cap(s.starts) >= tuples+1 {
+			s.starts = s.starts[:tuples+1]
+			return s
+		}
+	}
+	return &foldScratch{matches: make([]int, 0, tuples), starts: make([]int, tuples+1)}
+}
+
+func putFoldScratch(s *foldScratch) { foldScratchPool.Put(s) }
 
 func (j *Joined) buildReverseIndex() {
 	j.fromBase = make(map[string]map[int][]int, len(j.Tables))

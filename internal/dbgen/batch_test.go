@@ -1,0 +1,136 @@
+package dbgen
+
+import (
+	"reflect"
+	"testing"
+
+	"qfe/internal/algebra"
+	"qfe/internal/relation"
+)
+
+// checkBaseResultsMatchScalar compares a generator's batch-computed base
+// results against per-query scalar evaluation — the batch engine's
+// differential oracle at the dbgen integration layer.
+func checkBaseResultsMatchScalar(t *testing.T, g *Generator) {
+	t.Helper()
+	for i, q := range g.Queries {
+		ref := q
+		if q.Distinct {
+			bag := q.Clone()
+			bag.Distinct = false
+			ref = bag
+		}
+		direct, err := ref.EvaluateOnJoined(g.Joined.Rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.baseResults[i]
+		if got.Name != direct.Name || got.Len() != direct.Len() {
+			t.Fatalf("query %s: base result shape differs: %q/%d vs %q/%d",
+				q.Name, got.Name, got.Len(), direct.Name, direct.Len())
+		}
+		for ti := range got.Tuples {
+			if !got.Tuples[ti].Equal(direct.Tuples[ti]) {
+				t.Fatalf("query %s tuple %d: %v vs %v", q.Name, ti,
+					got.Tuples[ti], direct.Tuples[ti])
+			}
+		}
+	}
+}
+
+// TestEvaluateBaseBatchMatchesScalar asserts the batched, cache-subtracted
+// base evaluation is byte-identical to the scalar reference, with and
+// without forced hash collisions (which stress the columnar dictionary and
+// the selection-vector dedup verification).
+func TestEvaluateBaseBatchMatchesScalar(t *testing.T) {
+	for _, bits := range []int{0, 2} {
+		relation.ForceHashCollisionsForTesting(bits)
+		d, j, qc, r := example11(t)
+		opts := testOptions()
+		opts.Cache = nil
+		g, err := New(d, j, qc, r, opts)
+		if err != nil {
+			relation.ForceHashCollisionsForTesting(0)
+			t.Fatal(err)
+		}
+		checkBaseResultsMatchScalar(t, g)
+		relation.ForceHashCollisionsForTesting(0)
+	}
+}
+
+// TestPartitionConcreteBatchMatchesScalar drives one concrete partitioning
+// through the batch delta path and cross-checks every query's delta and
+// fingerprint against the scalar DeltaOnJoined / DeltaFingerprint pair.
+func TestPartitionConcreteBatchMatchesScalar(t *testing.T) {
+	d, j, qc, r := example11(t)
+	opts := testOptions()
+	g, err := New(d, j, qc, r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modified, err := g.modifiedJoinedRows(res.Edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchDeltas, err := algebra.BatchDeltaOnJoined(g.Queries, g.Joined.Rel, modified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fps := algebra.BatchApplyDelta(g.Queries, g.baseResults, batchDeltas, make([]bool, len(g.Queries)))
+	for qi, q := range g.Queries {
+		scalar, err := q.DeltaOnJoined(g.Joined.Rel, modified)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batchDeltas[qi], scalar) {
+			t.Errorf("query %s: batch delta %+v, scalar %+v", q.Name, batchDeltas[qi], scalar)
+		}
+		if want := q.DeltaFingerprint(g.baseResults[qi], scalar); fps[qi] != want {
+			t.Errorf("query %s: batch fingerprint %v, scalar %v", q.Name, fps[qi], want)
+		}
+	}
+}
+
+// TestGenerateDeterministicAcrossWorkerCounts runs the full Algorithm 2
+// pipeline — now routed through the batch engine — at several worker counts
+// and requires bit-identical outcomes. Under -race this doubles as the
+// batch engine's concurrency test.
+func TestGenerateDeterministicAcrossWorkerCounts(t *testing.T) {
+	d, j, qc, r := example11(t)
+	ref, err := New(d, j, qc, r, withParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		g, err := New(d, j, qc, r, withParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Edits, want.Edits) {
+			t.Errorf("workers %d: edits differ: %v vs %v", workers, got.Edits, want.Edits)
+		}
+		if !reflect.DeepEqual(got.Partition, want.Partition) {
+			t.Errorf("workers %d: partitions differ: %v vs %v", workers, got.Partition, want.Partition)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("workers %d: result counts differ", workers)
+		}
+		for i := range got.Results {
+			if got.Results[i].Fingerprint() != want.Results[i].Fingerprint() {
+				t.Errorf("workers %d: result %d differs", workers, i)
+			}
+		}
+	}
+}

@@ -165,8 +165,11 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 // evaluateBase computes Q(D) for every candidate on the shared join — the
 // per-round evaluation the winnowing loop repeats with a shrinking QC, so
 // nearly every round after the first is answered entirely from the cache.
-// Misses are evaluated concurrently; each query's work is independent and
-// all inputs (join, predicates) are read-only.
+// Cache hits are subtracted up front through one batched lookup; the
+// remaining misses are evaluated together in one shared columnar scan
+// (algebra.BatchEvaluateOnJoined over the join's memoised Columnar). A lone
+// miss takes the scalar path instead — the batch engine's differential
+// reference — since a single query gains nothing from a shared scan.
 //
 // DISTINCT candidates are evaluated under bag semantics here: the stored
 // base feeds the incremental delta path, where set membership after a
@@ -177,38 +180,75 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 // key is the bag form's fingerprint, which coincides — correctly, the
 // results are identical — with a structurally equal non-DISTINCT candidate.
 func (g *Generator) evaluateBase() error {
-	dbHash := g.Joined.ContentHash()
-	errs := make([]error, len(g.Queries))
-	par.Do(len(g.Queries), par.Workers(g.Opts.Parallelism), func(i int) {
-		q := g.Queries[i]
+	// Bag-semantics view of the candidate set (clones only for DISTINCT).
+	qs := make([]*algebra.Query, len(g.Queries))
+	for i, q := range g.Queries {
 		if q.Distinct {
 			bag := q.Clone()
 			bag.Distinct = false
 			q = bag
 		}
-		key := evalcache.Key{Query: q.Fingerprint(), DB: dbHash}
-		if g.Opts.Cache != nil {
-			if res, ok := g.Opts.Cache.Get(key); ok {
-				if res.Name != q.Name {
-					// Fingerprints are structural: the same query cached from
-					// another session may carry a different label.
-					res = &relation.Relation{Name: q.Name, Schema: res.Schema, Tuples: res.Tuples}
-				}
-				g.baseResults[i] = res
-				return
-			}
+		qs[i] = q
+	}
+
+	missing := make([]int, 0, len(qs))
+	var keys []evalcache.Key
+	if g.Opts.Cache != nil {
+		dbHash := g.Joined.ContentHash()
+		keys = make([]evalcache.Key, len(qs))
+		for i, q := range qs {
+			keys[i] = evalcache.Key{Query: q.Fingerprint(), DB: dbHash}
 		}
-		res, err := q.EvaluateOnJoined(g.Joined.Rel)
+		cached, _ := g.Opts.Cache.GetBatch(keys)
+		for i, res := range cached {
+			if res == nil {
+				missing = append(missing, i)
+				continue
+			}
+			if res.Name != qs[i].Name {
+				// Fingerprints are structural: the same query cached from
+				// another session may carry a different label.
+				res = &relation.Relation{Name: qs[i].Name, Schema: res.Schema, Tuples: res.Tuples}
+			}
+			g.baseResults[i] = res
+		}
+	} else {
+		for i := range qs {
+			missing = append(missing, i)
+		}
+	}
+
+	switch {
+	case len(missing) == 0:
+		return nil
+	case len(missing) == 1:
+		i := missing[0]
+		res, err := qs[i].EvaluateOnJoined(g.Joined.Rel)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		g.baseResults[i] = res
 		if g.Opts.Cache != nil {
-			g.Opts.Cache.Put(key, res)
+			g.Opts.Cache.Put(keys[i], res)
 		}
-	})
-	return errors.Join(errs...)
+		return nil
+	default:
+		missQs := make([]*algebra.Query, len(missing))
+		for k, i := range missing {
+			missQs[k] = qs[i]
+		}
+		results, err := algebra.BatchEvaluateOnJoined(missQs, g.Joined.Columnar())
+		if err != nil {
+			return err
+		}
+		for k, i := range missing {
+			g.baseResults[i] = results[k]
+			if g.Opts.Cache != nil {
+				g.Opts.Cache.Put(keys[i], results[k])
+			}
+		}
+		return nil
+	}
 }
 
 // Result is the outcome of one Database-Generator invocation, carrying both
@@ -329,11 +369,15 @@ func (g *Generator) Generate() (*Result, error) {
 }
 
 // partitionConcrete evaluates every query incrementally against the edits
-// and groups them by result fingerprint. The per-query delta computation and
-// the per-block result materialisation + edit-distance costing both run on
-// the configured worker pool; grouping itself stays serial in query order,
-// so the partition (and therefore everything downstream) is byte-identical
-// to the Parallelism = 1 path.
+// and groups them by result fingerprint. The Lemma 5.1 deltas for the whole
+// candidate set come from one shared pass over the modified rows
+// (algebra.BatchDeltaOnJoined: unique terms evaluated once per row, not once
+// per query), and the fingerprints from one incremental maintenance pass
+// (algebra.BatchApplyDelta) — re-scanning nothing. A lone candidate keeps
+// the scalar path as the differential reference. The per-block result
+// materialisation + edit-distance costing still run on the configured
+// worker pool; grouping stays serial in query order, so the partition (and
+// everything downstream) is byte-identical to the Parallelism = 1 path.
 func (g *Generator) partitionConcrete(edits []db.CellEdit) ([][]int, []*relation.Relation, []int, error) {
 	modified, err := g.modifiedJoinedRows(edits)
 	if err != nil {
@@ -341,21 +385,30 @@ func (g *Generator) partitionConcrete(edits []db.CellEdit) ([][]int, []*relation
 	}
 	workers := par.Workers(g.Opts.Parallelism)
 
-	deltas := make([]algebra.ResultDelta, len(g.Queries))
-	fps := make([]algebra.ResultFP, len(g.Queries))
-	errs := make([]error, len(g.Queries))
-	par.Do(len(g.Queries), workers, func(qi int) {
-		q := g.Queries[qi]
+	var (
+		deltas []algebra.ResultDelta
+		fps    []algebra.ResultFP
+	)
+	if len(g.Queries) == 1 {
+		q := g.Queries[0]
 		delta, err := q.DeltaOnJoined(g.Joined.Rel, modified)
 		if err != nil {
-			errs[qi] = err
-			return
+			return nil, nil, nil, err
 		}
-		deltas[qi] = delta
-		fps[qi] = q.DeltaFingerprint(g.baseResults[qi], delta)
-	})
-	if err := errors.Join(errs...); err != nil {
-		return nil, nil, nil, err
+		deltas = []algebra.ResultDelta{delta}
+		fps = []algebra.ResultFP{q.DeltaFingerprint(g.baseResults[0], delta)}
+	} else {
+		deltas, err = algebra.BatchDeltaOnJoined(g.Queries, g.Joined.Rel, modified)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Fingerprint maintenance is independent per query: spread it across
+		// the worker pool with indexed output slots (byte-identical at every
+		// worker count).
+		fps = make([]algebra.ResultFP, len(g.Queries))
+		par.Do(len(g.Queries), workers, func(qi int) {
+			_, fps[qi] = algebra.ApplyDeltaFP(g.Queries[qi], g.baseResults[qi], deltas[qi], false)
+		})
 	}
 
 	groups := map[algebra.ResultFP][]int{}

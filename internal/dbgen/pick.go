@@ -2,12 +2,11 @@ package dbgen
 
 import (
 	"math"
-	"sort"
-	"strconv"
-	"strings"
+	"slices"
 
 	"qfe/internal/cost"
 	"qfe/internal/par"
+	"qfe/internal/relation"
 	"qfe/internal/tupleclass"
 )
 
@@ -30,10 +29,12 @@ type evalCtx struct {
 	sp     []ScoredPair
 	x      int
 	codes  [][]uint8 // [pair][query] case code
+	codesT []uint8   // [query*np+pair] transposed case codes (scan-friendly)
 	repl   [][]int   // [pair][query] modify cost when code == replace
 	edit   []int     // [pair] minEdit(s,d)
 	tables [][]string
 	nq     int
+	np     int
 	arityR int
 	// srcID[pair] resolves the pair's source class to its index in
 	// g.srcClasses (by class hash, Equal-verified), -1 when the class has no
@@ -45,7 +46,7 @@ type evalCtx struct {
 }
 
 func (g *Generator) newEvalCtx(sp []ScoredPair, x, workers int) *evalCtx {
-	ctx := &evalCtx{g: g, sp: sp, x: x, nq: len(g.Queries), arityR: g.R.Arity()}
+	ctx := &evalCtx{g: g, sp: sp, x: x, nq: len(g.Queries), np: len(sp), arityR: g.R.Arity()}
 	ctx.codes = make([][]uint8, len(sp))
 	ctx.repl = make([][]int, len(sp))
 	ctx.edit = make([]int, len(sp))
@@ -90,7 +91,37 @@ func (g *Generator) newEvalCtx(sp []ScoredPair, x, workers int) *evalCtx {
 			ctx.tables[pi] = append(ctx.tables[pi], t)
 		}
 	})
+	// Transposed copy of the case codes: evaluate reads all of one query's
+	// codes across a set's pairs, which in [pair][query] layout touches one
+	// cache line per pair; [query][pair] makes the inner loop walk one row.
+	ctx.codesT = make([]uint8, ctx.nq*ctx.np)
+	for pi := range sp {
+		for qi := 0; qi < ctx.nq; qi++ {
+			ctx.codesT[qi*ctx.np+pi] = ctx.codes[pi][qi]
+		}
+	}
 	return ctx
+}
+
+// pblock is one result-partition block during set evaluation: the packed
+// case-vector key, the block size and a representative query.
+type pblock struct {
+	key  uint64
+	size int
+	rep  int
+}
+
+// evalScratch carries the per-evaluation working buffers. Algorithm 4
+// evaluates tens of thousands of sets per round; reusing one scratch per
+// worker (par.DoIndexed) removes every per-evaluation allocation from the
+// hot loop. Scratch contents never outlive an evaluate call — the cost
+// model consumes sizes and edits by value.
+type evalScratch struct {
+	blocks      []pblock
+	sizes       []int
+	resultEdits []int
+	tbls        []string
+	keyBuf      []byte
 }
 
 // evaluate scores the candidate set identified by ascending SP indices.
@@ -100,23 +131,19 @@ func (g *Generator) newEvalCtx(sp []ScoredPair, x, workers int) *evalCtx {
 // allocations and the map of blocks the legacy path built per evaluation.
 // The cost model consumes sizes and edits through order-insensitive sums,
 // so block order does not matter (the legacy path iterated a map).
-func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
-	var sizes, resultEdits []int
+func (ctx *evalCtx) evaluate(indices []int, scr *evalScratch) (costVal, balance float64, k int) {
+	sizes, resultEdits := scr.sizes[:0], scr.resultEdits[:0]
 	if len(indices) <= 32 {
-		type pblock struct {
-			key  uint64
-			size int
-			rep  int
-		}
-		blocks := make([]pblock, 0, 16)
+		blocks := scr.blocks[:0]
 		// Linear scan while the block count stays small (the common case:
 		// partitions have a handful of blocks); an index map takes over past
 		// that so diverse case vectors never go quadratic in |QC|.
 		var blockIdx map[uint64]int
 		for qi := 0; qi < ctx.nq; qi++ {
 			var key uint64
+			row := ctx.codesT[qi*ctx.np : (qi+1)*ctx.np]
 			for _, pi := range indices {
-				key = key<<2 | uint64(ctx.codes[pi][qi])
+				key = key<<2 | uint64(row[pi])
 			}
 			found := -1
 			if blockIdx != nil {
@@ -145,8 +172,7 @@ func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
 				blocks[found].size++
 			}
 		}
-		sizes = make([]int, 0, len(blocks))
-		resultEdits = make([]int, 0, len(blocks))
+		scr.blocks = blocks
 		for _, b := range blocks {
 			sizes = append(sizes, b.size)
 			edit := 0
@@ -169,7 +195,10 @@ func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
 			rep  int
 		}
 		blocks := map[string]*block{}
-		keyBuf := make([]byte, len(indices))
+		if cap(scr.keyBuf) < len(indices) {
+			scr.keyBuf = make([]byte, len(indices))
+		}
+		keyBuf := scr.keyBuf[:len(indices)]
 		for qi := 0; qi < ctx.nq; qi++ {
 			for i, pi := range indices {
 				keyBuf[i] = ctx.codes[pi][qi]
@@ -182,8 +211,6 @@ func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
 				b.size++
 			}
 		}
-		sizes = make([]int, 0, len(blocks))
-		resultEdits = make([]int, 0, len(blocks))
 		for key, b := range blocks {
 			sizes = append(sizes, b.size)
 			edit := 0
@@ -199,7 +226,7 @@ func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
 		}
 	}
 	dbEdit := 0
-	tbls := make([]string, 0, 8)
+	tbls := scr.tbls[:0]
 	for _, pi := range indices {
 		dbEdit += ctx.edit[pi]
 		for _, t := range ctx.tables[pi] {
@@ -215,6 +242,7 @@ func (ctx *evalCtx) evaluate(indices []int) (costVal, balance float64, k int) {
 			}
 		}
 	}
+	scr.sizes, scr.resultEdits, scr.tbls = sizes, resultEdits, tbls
 	in := cost.Inputs{
 		DBEdit:            dbEdit,
 		ModifiedRelations: len(tbls),
@@ -285,10 +313,11 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 		balance float64
 		subsets int
 	}
+	scratches := make([]evalScratch, workers)
 	scoreAll := func(sets [][]int) []evalResult {
 		out := make([]evalResult, len(sets))
-		par.Do(len(sets), workers, func(k int) {
-			c, b, n := ctx.evaluate(sets[k])
+		par.DoIndexed(len(sets), workers, func(worker, k int) {
+			c, b, n := ctx.evaluate(sets[k], &scratches[worker])
 			out[k] = evalResult{cost: c, balance: b, subsets: n}
 		})
 		return out
@@ -310,44 +339,73 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 	for k, indices := range singles {
 		ev := evals[k]
 		evaluated++
-		best.add(CandidateSet{Indices: indices, Pairs: pairsAt(sp, indices),
+		best.add(CandidateSet{Indices: indices,
 			Balance: ev.balance, Cost: ev.cost, Subsets: ev.subsets})
 		frontier = append(frontier, frontierEntry{indices: indices, balance: ev.balance})
 	}
+
+	// inSet stamps which pair indices the current parent holds; bumping the
+	// generation clears it in O(1) between parents.
+	inSet := make([]int, len(sp))
+	generation := 0
 
 	// Steps 9–21: grow sets while balance improves.
 	for level := 2; level <= len(sp) && len(frontier) > 0 && evaluated < maxEval; level++ {
 		// Phase 1: list this level's unique feasible children in evaluation
 		// order, recording the balance of the first parent reaching each
 		// (later parents are deduplicated away, as in the serial sweep).
+		// Deduplication is exact: children hash through the kernel fold and
+		// collisions are verified against the arena of already-seen sets, so
+		// no key strings are built.
 		type child struct {
 			indices       []int
 			parentBalance float64
 		}
 		var pending []child
-		seen := map[string]bool{}
+		seen := newSeenSets(level, len(frontier)*len(sp))
+		childBuf := make([]int, level)
+		// Kept children are carved out of one arena per level instead of one
+		// allocation per child.
+		var childArena []int
 		budget := maxEval - evaluated
 	enumerate:
 		for _, op := range frontier {
-			inOp := map[int]bool{}
+			generation++
 			for _, i := range op.indices {
-				inOp[i] = true
+				inSet[i] = generation
 			}
 			for pi := range sp {
-				if inOp[pi] {
+				if inSet[pi] == generation {
 					continue
 				}
-				indices := append(append([]int(nil), op.indices...), pi)
-				sort.Ints(indices)
-				key := indexKey(indices)
-				if seen[key] {
+				// Merge pi into the sorted parent without a general sort.
+				k := 0
+				for _, v := range op.indices {
+					if v < pi {
+						childBuf[k] = v
+						k++
+					}
+				}
+				childBuf[k] = pi
+				for _, v := range op.indices[k:] {
+					childBuf[k+1] = v
+					k++
+				}
+				if seen.insert(childBuf) {
+					continue // already recorded (feasible or not)
+				}
+				if !ctx.feasible(childBuf) {
 					continue
 				}
-				seen[key] = true
-				if !ctx.feasible(indices) {
-					continue
+				if len(childArena)+level > cap(childArena) {
+					childArena = make([]int, 0, 1024*level)
 				}
-				pending = append(pending, child{indices: indices, parentBalance: op.balance})
+				base := len(childArena)
+				childArena = append(childArena, childBuf...)
+				pending = append(pending, child{
+					indices:       childArena[base : base+level : base+level],
+					parentBalance: op.balance,
+				})
 				if len(pending) >= budget {
 					break enumerate
 				}
@@ -368,17 +426,103 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 			evaluated++
 			if ev.balance < ch.parentBalance { // strict improvement required (step 15)
 				next = append(next, frontierEntry{indices: ch.indices, balance: ev.balance})
-				best.add(CandidateSet{Indices: ch.indices, Pairs: pairsAt(sp, ch.indices),
+				best.add(CandidateSet{Indices: ch.indices,
 					Balance: ev.balance, Cost: ev.cost, Subsets: ev.subsets})
 			}
 		}
 		if g.Opts.MaxFrontier > 0 && len(next) > g.Opts.MaxFrontier {
-			sort.SliceStable(next, func(a, b int) bool { return next[a].balance < next[b].balance })
+			slices.SortStableFunc(next, func(a, b frontierEntry) int {
+				switch {
+				case a.balance < b.balance:
+					return -1
+				case a.balance > b.balance:
+					return 1
+				default:
+					return 0
+				}
+			})
 			next = next[:g.Opts.MaxFrontier]
 		}
 		frontier = next
 	}
-	return best.ranked()
+	return best.ranked(sp)
+}
+
+// seenSets is an exact, open-addressed dedup set of fixed-length ascending
+// index tuples. Entries live flattened in one arena; the probe hashes
+// through the kernel fold (relation.HashInts) and verifies equality against
+// the arena on collision, so deduplication never depends on hash quality
+// and builds no key strings or per-bucket slices.
+type seenSets struct {
+	level int
+	arena []int32
+	table []int32 // arena offset + 1; 0 = empty slot
+	count int
+}
+
+func newSeenSets(level, expect int) *seenSets {
+	size := 1024
+	for size < 2*expect && size < 1<<22 {
+		size <<= 1
+	}
+	return &seenSets{level: level, table: make([]int32, size)}
+}
+
+// insert records the set and reports whether it was already present.
+func (s *seenSets) insert(set []int) bool {
+	h := relation.HashInts(set)
+	mask := uint64(len(s.table) - 1)
+	slot := h & mask
+	for {
+		off := s.table[slot]
+		if off == 0 {
+			break
+		}
+		cand := s.arena[off-1 : int(off-1)+s.level]
+		same := true
+		for i, v := range set {
+			if int(cand[i]) != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+		slot = (slot + 1) & mask
+	}
+	off := int32(len(s.arena)) + 1
+	for _, v := range set {
+		s.arena = append(s.arena, int32(v))
+	}
+	s.table[slot] = off
+	s.count++
+	if 4*s.count > 3*len(s.table) {
+		s.grow()
+	}
+	return false
+}
+
+// grow doubles the table and reinserts every arena offset.
+func (s *seenSets) grow() {
+	old := s.table
+	s.table = make([]int32, 2*len(old))
+	mask := uint64(len(s.table) - 1)
+	buf := make([]int, s.level)
+	for _, off := range old {
+		if off == 0 {
+			continue
+		}
+		ent := s.arena[off-1 : int(off-1)+s.level]
+		for i, v := range ent {
+			buf[i] = int(v)
+		}
+		slot := relation.HashInts(buf) & mask
+		for s.table[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		s.table[slot] = off
+	}
 }
 
 func pairsAt(sp []ScoredPair, indices []int) []tupleclass.Pair {
@@ -389,19 +533,13 @@ func pairsAt(sp []ScoredPair, indices []int) []tupleclass.Pair {
 	return out
 }
 
-func indexKey(indices []int) string {
-	var b strings.Builder
-	for i, v := range indices {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(v))
-	}
-	return b.String()
-}
-
 // topK keeps the k best candidate sets under the configured strategy:
 // cost model (cost, balance, size) or max-partitions (subsets desc, cost).
+// Entries are kept sorted by ordered insertion — equivalent to the legacy
+// append-stable-sort-truncate, since a stable sort moves a new tail element
+// exactly to the first position whose occupant ranks strictly after it —
+// and the Pairs of the surviving sets are only materialised at the end,
+// not once per evaluated set.
 type topK struct {
 	k        int
 	strategy Strategy
@@ -415,29 +553,44 @@ func newTopK(k int, s Strategy) *topK {
 	return &topK{k: k, strategy: s}
 }
 
+// less reports whether x ranks strictly before y under the strategy.
+func (t *topK) less(x, y *CandidateSet) bool {
+	if t.strategy == StrategyMaxPartitions {
+		if x.Subsets != y.Subsets {
+			return x.Subsets > y.Subsets
+		}
+	}
+	if x.Cost != y.Cost {
+		return x.Cost < y.Cost
+	}
+	if x.Balance != y.Balance {
+		return x.Balance < y.Balance
+	}
+	return len(x.Indices) < len(y.Indices)
+}
+
 func (t *topK) add(c CandidateSet) {
 	if math.IsInf(c.Cost, 1) {
 		return // never consider non-splitting sets
 	}
-	t.sets = append(t.sets, c)
-	sort.SliceStable(t.sets, func(a, b int) bool {
-		x, y := t.sets[a], t.sets[b]
-		if t.strategy == StrategyMaxPartitions {
-			if x.Subsets != y.Subsets {
-				return x.Subsets > y.Subsets
-			}
-		}
-		if x.Cost != y.Cost {
-			return x.Cost < y.Cost
-		}
-		if x.Balance != y.Balance {
-			return x.Balance < y.Balance
-		}
-		return len(x.Indices) < len(y.Indices)
-	})
-	if len(t.sets) > t.k {
-		t.sets = t.sets[:t.k]
+	if len(t.sets) == t.k && !t.less(&c, &t.sets[t.k-1]) {
+		return // ranks at or below the current cut-off
 	}
+	pos := len(t.sets)
+	for pos > 0 && t.less(&c, &t.sets[pos-1]) {
+		pos--
+	}
+	if len(t.sets) < t.k {
+		t.sets = append(t.sets, CandidateSet{})
+	}
+	copy(t.sets[pos+1:], t.sets[pos:])
+	t.sets[pos] = c
 }
 
-func (t *topK) ranked() []CandidateSet { return t.sets }
+// ranked returns the kept sets, best first, with their Pairs materialised.
+func (t *topK) ranked(sp []ScoredPair) []CandidateSet {
+	for i := range t.sets {
+		t.sets[i].Pairs = pairsAt(sp, t.sets[i].Indices)
+	}
+	return t.sets
+}

@@ -122,11 +122,15 @@ func Default() *Cache {
 	return defaultCache
 }
 
-func (c *Cache) shardFor(k Key) *shard {
+func shardIndex(k Key) uint64 {
 	// Mix both halves of the key; fingerprints are already well-mixed FNV
 	// hashes, so a xor-fold suffices for shard selection.
 	h := k.Query ^ (k.DB * 0x9e3779b97f4a7c15)
-	return &c.shards[h%numShards]
+	return h % numShards
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	return &c.shards[shardIndex(k)]
 }
 
 // Get returns the cached result for k, if present, promoting it to most
@@ -145,6 +149,44 @@ func (c *Cache) Get(k Key) (*relation.Relation, bool) {
 	s.mu.Unlock()
 	c.misses.Add(1)
 	return nil, false
+}
+
+// GetBatch looks up many keys in one call, taking each shard's lock at most
+// once per batch instead of once per key. res[i] is nil for a miss; hits is
+// the number of non-nil entries. Hit/miss counters and LRU recency update
+// exactly as per-key Get calls would (within one shard, promotions happen in
+// key order). It is how the batch evaluator subtracts cached candidates from
+// a round's shared scan before it runs.
+func (c *Cache) GetBatch(keys []Key) (res []*relation.Relation, hits int) {
+	res = make([]*relation.Relation, len(keys))
+	shardOf := make([]uint8, len(keys))
+	var touched [numShards]bool
+	for i, k := range keys {
+		si := shardIndex(k)
+		shardOf[i] = uint8(si)
+		touched[si] = true
+	}
+	for si := range c.shards {
+		if !touched[si] {
+			continue
+		}
+		s := &c.shards[si]
+		s.mu.Lock()
+		for i, k := range keys {
+			if shardOf[i] != uint8(si) {
+				continue
+			}
+			if el, ok := s.entries[k]; ok {
+				s.lru.MoveToFront(el)
+				res[i] = el.Value.(*entry).res
+				hits++
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.hits.Add(uint64(hits))
+	c.misses.Add(uint64(len(keys) - hits))
+	return res, hits
 }
 
 // Put stores the result for k, evicting least-recently-used entries until

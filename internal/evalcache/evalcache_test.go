@@ -38,6 +38,43 @@ func TestGetPutHitMiss(t *testing.T) {
 	}
 }
 
+func TestGetBatch(t *testing.T) {
+	c := New(1024)
+	keys := make([]Key, 10)
+	for i := range keys {
+		keys[i] = Key{Query: uint64(i), DB: uint64(i * 7)}
+	}
+	// Cache the even keys only.
+	for i := 0; i < len(keys); i += 2 {
+		c.Put(keys[i], rel(fmt.Sprintf("r%d", i), int64(i)))
+	}
+	res, hits := c.GetBatch(keys)
+	if hits != 5 {
+		t.Errorf("hits = %d, want 5", hits)
+	}
+	for i := range keys {
+		if i%2 == 0 {
+			if res[i] == nil || res[i].Name != fmt.Sprintf("r%d", i) {
+				t.Errorf("key %d: missing or wrong batch hit", i)
+			}
+		} else if res[i] != nil {
+			t.Errorf("key %d: unexpected hit", i)
+		}
+	}
+	// Counters must move exactly as per-key Gets would.
+	st := c.Stats()
+	if st.Hits != 5 || st.Misses != 5 {
+		t.Errorf("stats = %+v, want 5 hits / 5 misses", st)
+	}
+	// Batch results must agree with per-key Get.
+	for i, k := range keys {
+		single, ok := c.Get(k)
+		if ok != (res[i] != nil) || (ok && single != res[i]) {
+			t.Errorf("key %d: GetBatch and Get disagree", i)
+		}
+	}
+}
+
 func TestPutRefreshesExistingKey(t *testing.T) {
 	c := New(64)
 	k := Key{Query: 1, DB: 1}

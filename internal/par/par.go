@@ -26,12 +26,21 @@ func Workers(parallelism int) int {
 // safe to call concurrently, and callers that need deterministic output
 // collect per-index results and merge them in index order afterwards.
 func Do(n, workers int, fn func(i int)) {
+	DoIndexed(n, workers, func(_, i int) { fn(i) })
+}
+
+// DoIndexed is Do with the executing worker's id (0-based, stable for the
+// call) passed alongside the item index, so callers can reuse per-worker
+// scratch buffers across items without synchronisation. The serial path
+// always reports worker 0. Worker ids must not influence results — only
+// allocation reuse — or serial/parallel equivalence breaks.
+func DoIndexed(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -42,16 +51,16 @@ func Do(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

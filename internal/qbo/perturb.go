@@ -46,6 +46,12 @@ func PerturbConstants(d *db.Database, r *relation.Relation, base []*algebra.Quer
 		if err != nil {
 			return nil, err
 		}
+		// Collect the query's variants first, then verify them against D in
+		// one shared columnar scan — the variants differ from q (and from
+		// each other) in a single constant, so the batch's term table is
+		// nearly fully shared. A single variant keeps the scalar path (the
+		// batch engine's differential reference).
+		var variants []*algebra.Query
 		for ci := range q.Pred {
 			for ti := range q.Pred[ci] {
 				term := q.Pred[ci][ti]
@@ -53,24 +59,43 @@ func PerturbConstants(d *db.Database, r *relation.Relation, base []*algebra.Quer
 					continue
 				}
 				for _, nc := range nearbyConstants(j.Rel, term.Attr, term.Const) {
-					if maxExtra > 0 && len(out) >= maxExtra {
-						break
-					}
 					v := q.Clone()
 					v.Name = ""
 					v.Pred[ci][ti].Const = nc
-					fp := v.Key()
-					if seen[fp] {
-						continue
-					}
-					res, err := v.EvaluateOnJoined(j.Rel)
-					if err != nil || !res.BagEqual(r) {
-						continue
-					}
-					seen[fp] = true
-					out = append(out, v)
+					variants = append(variants, v)
 				}
 			}
+		}
+		var results []*relation.Relation
+		if len(variants) > 1 {
+			results, err = algebra.BatchEvaluateOnJoined(variants, j.Columnar())
+			if err != nil {
+				results = nil // fall back to per-variant scalar evaluation
+			}
+		}
+		for vi, v := range variants {
+			if maxExtra > 0 && len(out) >= maxExtra {
+				break
+			}
+			fp := v.Key()
+			if seen[fp] {
+				continue
+			}
+			res := (*relation.Relation)(nil)
+			if results != nil {
+				res = results[vi]
+			} else {
+				var verr error
+				res, verr = v.EvaluateOnJoined(j.Rel)
+				if verr != nil {
+					continue
+				}
+			}
+			if !res.BagEqual(r) {
+				continue
+			}
+			seen[fp] = true
+			out = append(out, v)
 		}
 	}
 	for i, q := range out {

@@ -313,48 +313,125 @@ func HashInts(xs []int) uint64 {
 }
 
 // bagEntry is one distinct tuple (under KeyEqual) with its multiplicity.
+// In the small (slice) mode the stored hash stands in for the map key.
 type bagEntry struct {
+	h uint64
 	t Tuple
 	n int
 }
+
+// smallBagMax is the distinct-entry count up to which a Bag stays a flat
+// slice scanned linearly instead of a hash map. Comparing a handful of
+// uint64 hashes beats a map probe, and — more importantly on the tiny
+// relations of Example 1.1-sized databases — skips the map allocation
+// entirely. Past the threshold the bag spills into the map transparently.
+const smallBagMax = 12
 
 // Bag is a hash-keyed multiset of tuples with equality verification on hash
 // collision: tuples sharing a 64-bit hash live in one bucket and are told
 // apart by KeyEqual, so counts are exact regardless of hash quality. It
 // replaces the map[string]int built from Tuple.Key on every hot path.
-// Not safe for concurrent use; the parallel paths build one bag per worker
-// or per call.
+//
+// Bags sized (by the NewBag hint) at or under smallBagMax start in a small
+// mode — a flat entry slice with linear hash scan and no map — and spill to
+// the hash map only when the distinct count outgrows the threshold, so the
+// thousands of tiny bags built per candidate search on small databases never
+// touch the map runtime. Not safe for concurrent use; the parallel paths
+// build one bag per worker or per call.
 type Bag struct {
+	small    []bagEntry // small mode storage; nil once spilled
 	m        map[uint64][]bagEntry
 	total    int
 	distinct int
 }
 
 // NewBag returns an empty bag sized for about hint distinct tuples.
-func NewBag(hint int) *Bag { return &Bag{m: make(map[uint64][]bagEntry, hint)} }
+func NewBag(hint int) *Bag {
+	if hint <= smallBagMax {
+		return &Bag{}
+	}
+	return &Bag{m: make(map[uint64][]bagEntry, hint)}
+}
+
+// smallFind returns the index of the entry with hash h that is KeyEqual to t
+// in the small slice, or -1.
+func (b *Bag) smallFind(h uint64, t Tuple) int {
+	for i := range b.small {
+		if b.small[i].h == h && b.small[i].t.KeyEqual(t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// smallFindProj is smallFind for an unmaterialised projection t[idx].
+func (b *Bag) smallFindProj(h uint64, t Tuple, idx []int) int {
+	for i := range b.small {
+		if b.small[i].h == h && t.keyEqualProj(idx, b.small[i].t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// spill migrates the small slice into the hash map once the distinct count
+// outgrows smallBagMax.
+func (b *Bag) spill() {
+	b.m = make(map[uint64][]bagEntry, 2*smallBagMax)
+	for _, e := range b.small {
+		b.m[e.h] = append(b.m[e.h], e)
+	}
+	b.small = nil
+}
+
+// insert stores a brand-new entry in whichever mode the bag is in.
+func (b *Bag) insert(e bagEntry) {
+	if b.m == nil {
+		if len(b.small) < smallBagMax {
+			b.small = append(b.small, e)
+			b.distinct++
+			return
+		}
+		b.spill()
+	}
+	b.m[e.h] = append(b.m[e.h], e)
+	b.distinct++
+}
 
 // Inc adjusts the count of t by d (creating the entry if needed, including
 // at negative counts) and returns the new count. The tuple is retained by
 // reference; callers must not mutate it afterwards.
 func (b *Bag) Inc(t Tuple, d int) int {
 	h := t.Hash64()
-	bucket := b.m[h]
-	for i := range bucket {
-		if bucket[i].t.KeyEqual(t) {
-			bucket[i].n += d
-			b.total += d
-			return bucket[i].n
+	b.total += d
+	if b.m == nil {
+		if i := b.smallFind(h, t); i >= 0 {
+			b.small[i].n += d
+			return b.small[i].n
+		}
+	} else {
+		bucket := b.m[h]
+		for i := range bucket {
+			if bucket[i].t.KeyEqual(t) {
+				bucket[i].n += d
+				return bucket[i].n
+			}
 		}
 	}
-	b.m[h] = append(bucket, bagEntry{t: t, n: d})
-	b.distinct++
-	b.total += d
+	b.insert(bagEntry{h: h, t: t, n: d})
 	return d
 }
 
 // Count returns the current count of t (0 if absent).
 func (b *Bag) Count(t Tuple) int {
-	for _, e := range b.m[t.Hash64()] {
+	h := t.Hash64()
+	if b.m == nil {
+		if i := b.smallFind(h, t); i >= 0 {
+			return b.small[i].n
+		}
+		return 0
+	}
+	for _, e := range b.m[h] {
 		if e.t.KeyEqual(t) {
 			return e.n
 		}
@@ -364,7 +441,19 @@ func (b *Bag) Count(t Tuple) int {
 
 // TakeOne decrements t's count if it is positive and reports whether it did.
 func (b *Bag) TakeOne(t Tuple) bool {
-	bucket := b.m[t.Hash64()]
+	h := t.Hash64()
+	if b.m == nil {
+		if i := b.smallFind(h, t); i >= 0 {
+			if b.small[i].n <= 0 {
+				return false
+			}
+			b.small[i].n--
+			b.total--
+			return true
+		}
+		return false
+	}
+	bucket := b.m[h]
 	for i := range bucket {
 		if bucket[i].t.KeyEqual(t) {
 			if bucket[i].n <= 0 {
@@ -383,24 +472,36 @@ func (b *Bag) TakeOne(t Tuple) bool {
 // copy, so later probes stay allocation-free).
 func (b *Bag) IncProj(t Tuple, idx []int, d int) int {
 	h := t.HashProj(idx)
-	bucket := b.m[h]
-	for i := range bucket {
-		if t.keyEqualProj(idx, bucket[i].t) {
-			bucket[i].n += d
-			b.total += d
-			return bucket[i].n
+	b.total += d
+	if b.m == nil {
+		if i := b.smallFindProj(h, t, idx); i >= 0 {
+			b.small[i].n += d
+			return b.small[i].n
+		}
+	} else {
+		bucket := b.m[h]
+		for i := range bucket {
+			if t.keyEqualProj(idx, bucket[i].t) {
+				bucket[i].n += d
+				return bucket[i].n
+			}
 		}
 	}
-	b.m[h] = append(bucket, bagEntry{t: t.Project(idx), n: d})
-	b.distinct++
-	b.total += d
+	b.insert(bagEntry{h: h, t: t.Project(idx), n: d})
 	return d
 }
 
 // CountProj returns the count of the projection t[idx] without
 // materialising it.
 func (b *Bag) CountProj(t Tuple, idx []int) int {
-	for _, e := range b.m[t.HashProj(idx)] {
+	h := t.HashProj(idx)
+	if b.m == nil {
+		if i := b.smallFindProj(h, t, idx); i >= 0 {
+			return b.small[i].n
+		}
+		return 0
+	}
+	for _, e := range b.m[h] {
 		if t.keyEqualProj(idx, e.t) {
 			return e.n
 		}
@@ -419,6 +520,9 @@ func (b *Bag) Total() int { return b.total }
 // unspecified order. Callers needing determinism must sort or combine
 // commutatively.
 func (b *Bag) ForEach(f func(t Tuple, n int)) {
+	for i := range b.small {
+		f(b.small[i].t, b.small[i].n)
+	}
 	for _, bucket := range b.m {
 		for _, e := range bucket {
 			f(e.t, e.n)
@@ -439,17 +543,23 @@ func (b *Bag) ForEach(f func(t Tuple, n int)) {
 // query groups; at 128 bits that probability is negligible for any
 // realistic candidate count.
 func (b *Bag) Fingerprint128(distinct bool) (lo, hi uint64) {
+	fold := func(e *bagEntry) {
+		if e.n <= 0 {
+			return
+		}
+		n := uint64(e.n)
+		if distinct {
+			n = 1
+		}
+		lo += avalanche(hashWord(e.t.hashSeeded(fpSeedLo), n))
+		hi += avalanche(hashWord(e.t.hashSeeded(fpSeedHi), n))
+	}
+	for i := range b.small {
+		fold(&b.small[i])
+	}
 	for _, bucket := range b.m {
-		for _, e := range bucket {
-			if e.n <= 0 {
-				continue
-			}
-			n := uint64(e.n)
-			if distinct {
-				n = 1
-			}
-			lo += avalanche(hashWord(e.t.hashSeeded(fpSeedLo), n))
-			hi += avalanche(hashWord(e.t.hashSeeded(fpSeedHi), n))
+		for i := range bucket {
+			fold(&bucket[i])
 		}
 	}
 	return lo, hi

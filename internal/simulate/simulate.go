@@ -470,4 +470,3 @@ func resultEquivalent(q *algebra.Query, dbs []*db.Database, wants []*relation.Re
 	}
 	return true
 }
-

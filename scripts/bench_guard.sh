@@ -1,0 +1,49 @@
+#!/bin/sh
+# Allocation-regression guard for the benchmark smoke step.
+#
+# Runs BenchmarkMicroFullSession with -benchmem and fails when allocs/op
+# exceeds the recorded baseline (BENCH_baseline.txt) by more than the
+# allowed headroom. Wall-clock is machine-dependent and not gated;
+# allocations are deterministic modulo pool warm-up, which the headroom
+# absorbs.
+#
+# Usage: scripts/bench_guard.sh [headroom_percent]
+# Refresh the baseline after an intentional change with:
+#   scripts/bench_guard.sh --record
+set -e
+
+cd "$(dirname "$0")/.."
+BASELINE_FILE=BENCH_baseline.txt
+HEADROOM="${1:-20}"
+
+# -cpu 1 pins the measurement: allocs/op grows a few percent with
+# GOMAXPROCS (per-worker scratch, per-P pools), so recorded baselines and
+# CI runners must agree on the core count to be comparable.
+OUT=$(go test -run '^$' -bench 'BenchmarkMicroFullSession$' -benchmem -benchtime 3x -cpu 1 .)
+echo "$OUT"
+ALLOCS=$(echo "$OUT" | awk '$1 ~ /^BenchmarkMicroFullSession/ {
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+}')
+if [ -z "$ALLOCS" ]; then
+    echo "bench_guard: could not parse allocs/op from benchmark output" >&2
+    exit 2
+fi
+
+if [ "$HEADROOM" = "--record" ]; then
+    echo "$ALLOCS" > "$BASELINE_FILE"
+    echo "bench_guard: recorded baseline $ALLOCS allocs/op"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE_FILE" ]; then
+    echo "bench_guard: no baseline file $BASELINE_FILE; run with --record first" >&2
+    exit 2
+fi
+BASELINE=$(cat "$BASELINE_FILE")
+LIMIT=$((BASELINE + BASELINE * HEADROOM / 100))
+echo "bench_guard: MicroFullSession $ALLOCS allocs/op (baseline $BASELINE, limit $LIMIT = +$HEADROOM%)"
+if [ "$ALLOCS" -gt "$LIMIT" ]; then
+    echo "bench_guard: FAIL — allocation regression over the recorded baseline" >&2
+    exit 1
+fi
+echo "bench_guard: OK"
