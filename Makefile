@@ -6,7 +6,7 @@ GO ?= go
 # Restrict with e.g. `make bench BENCH=BenchmarkMicro` for a faster run.
 BENCH ?= .
 
-.PHONY: build test race bench bench-micro bench-batch bench-guard sim sim-smoke
+.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The worker-count determinism matrix and race-stress tests with GOMAXPROCS
+# pinned above the core count (oversubscription maximises interleavings) —
+# the same command the CI parallel-determinism job runs.
+test-parallel:
+	GOMAXPROCS=8 $(GO) test -race -count=2 \
+		-run 'Parallel|Concurrent|Steal|Block|Degenerate|GetBatch' ./...
 
 # Full benchmark sweep with allocation counts, teed into BENCH_batch.json —
 # the durable artifact of the columnar batch-engine PR (BENCH_kernel.json
@@ -33,9 +40,11 @@ bench-batch:
 	$(GO) test -bench 'BenchmarkMicroBatchEval|BenchmarkMicroFullSession|BenchmarkMicroAlg4Parallelism' \
 		-benchmem -run '^$$' .
 
-# Allocation-regression gate (CI): fail when MicroFullSession allocs/op
-# exceeds the recorded BENCH_baseline.txt by more than 20%. Refresh the
-# baseline after an intentional change with scripts/bench_guard.sh --record.
+# Benchmark gates (CI): fail when MicroFullSession allocs/op exceeds the
+# recorded BENCH_baseline.txt by more than 20%, or (on hosts with >= 8
+# cores) when the parallel session / Algorithm 4 benchmarks miss their
+# speedup ratios. Refresh the allocation baseline after an intentional
+# change with scripts/bench_guard.sh --record.
 bench-guard:
 	./scripts/bench_guard.sh
 

@@ -342,6 +342,17 @@ func BenchmarkMicroBatchEval(b *testing.B) {
 			}
 		}
 	})
+	// The block-parallel scan at GOMAXPROCS workers; with -cpu 1,2,4,8 this
+	// sub-benchmark becomes the batch engine's scaling curve.
+	b.Run("batch-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.BatchEvaluateOnJoinedParallel(sc.QC, col,
+				runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMicroMinEdit measures the Hungarian-based relation edit

@@ -42,10 +42,12 @@ func equalSignatures(a, b []any) bool {
 }
 
 // TestSessionParallelMatchesSerial runs complete winnowing sessions — QBO
-// candidates, worst-case and target feedback — at Parallelism 1 and
-// Parallelism GOMAXPROCS and asserts identical outcomes: same chosen query,
-// same per-round |QC| trajectory, same costs. Under -race this doubles as
-// the concurrency-safety test for the whole engine.
+// candidates, worst-case and target feedback — at Parallelism 1 and at every
+// worker count in {2, 4, 8, GOMAXPROCS} and asserts identical outcomes: same
+// chosen query, same per-round |QC| trajectory, same costs. Worker counts
+// above the CPU count are deliberate: oversubscription shuffles execution
+// interleavings without being allowed to change results. Under -race this
+// doubles as the concurrency-safety test for the whole engine.
 func TestSessionParallelMatchesSerial(t *testing.T) {
 	d, r := employeeDB(t)
 	qc, err := qbo.Generate(d, r, qbo.DefaultConfig())
@@ -80,7 +82,7 @@ func TestSessionParallelMatchesSerial(t *testing.T) {
 		feedback.Target{Query: qc[len(qc)/2]},
 	} {
 		serial := run(1, oracle)
-		for _, p := range []int{2, ncpu} {
+		for _, p := range []int{2, 4, 8, ncpu} {
 			parallel := run(p, oracle)
 			if !equalSignatures(serial, parallel) {
 				t.Errorf("oracle %T parallelism %d: outcome differs\nserial:   %v\nparallel: %v",

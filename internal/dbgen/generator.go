@@ -237,7 +237,8 @@ func (g *Generator) evaluateBase() error {
 		for k, i := range missing {
 			missQs[k] = qs[i]
 		}
-		results, err := algebra.BatchEvaluateOnJoined(missQs, g.Joined.Columnar())
+		results, err := algebra.BatchEvaluateOnJoinedParallel(missQs, g.Joined.Columnar(),
+			par.Workers(g.Opts.Parallelism))
 		if err != nil {
 			return err
 		}

@@ -30,7 +30,7 @@ func TestSkylinePairsParallelMatchesSerial(t *testing.T) {
 	}
 	spS, statsS := serial.SkylinePairs()
 
-	for _, p := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+	for _, p := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
 		parallel, err := New(d, j, qc, r, withParallelism(p))
 		if err != nil {
 			t.Fatal(err)
@@ -46,8 +46,10 @@ func TestSkylinePairsParallelMatchesSerial(t *testing.T) {
 }
 
 // TestPickSubsetsParallelMatchesSerial asserts Algorithm 4 returns the same
-// ranked candidate sets at every parallelism level, including when the
-// evaluation budget truncates the search mid-level.
+// ranked candidate sets at every parallelism level — the pipelined
+// enumerate → score → replay stages must be invisible to results — including
+// when the evaluation budget truncates the search mid-level (the budget cuts
+// enumeration, so a pipeline that scored eagerly past the cut would diverge).
 func TestPickSubsetsParallelMatchesSerial(t *testing.T) {
 	d, j, qc, r := example11(t)
 	for _, maxEval := range []int{0, 7, 2} { // 0 = uncapped; small caps truncate
@@ -59,24 +61,29 @@ func TestPickSubsetsParallelMatchesSerial(t *testing.T) {
 		spS, statsS := serial.SkylinePairs()
 		setsS := serial.PickSubsets(spS, statsS.X)
 
-		parallel, err := New(d, j, qc, r, withParallelism(4))
-		if err != nil {
-			t.Fatal(err)
-		}
-		parallel.Opts.MaxSetsEvaluated = maxEval
-		spP, statsP := parallel.SkylinePairs()
-		setsP := parallel.PickSubsets(spP, statsP.X)
+		for _, p := range []int{2, 4, 8} {
+			parallel, err := New(d, j, qc, r, withParallelism(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel.Opts.MaxSetsEvaluated = maxEval
+			spP, statsP := parallel.SkylinePairs()
+			setsP := parallel.PickSubsets(spP, statsP.X)
 
-		if !reflect.DeepEqual(setsS, setsP) {
-			t.Errorf("maxEval %d: candidate sets differ\nserial:   %+v\nparallel: %+v",
-				maxEval, setsS, setsP)
+			if !reflect.DeepEqual(setsS, setsP) {
+				t.Errorf("maxEval %d parallelism %d: candidate sets differ\nserial:   %+v\nparallel: %+v",
+					maxEval, p, setsS, setsP)
+			}
 		}
 	}
 }
 
 // TestGenerateParallelMatchesSerial runs the whole Algorithm 2 pipeline at
-// both parallelism settings and compares everything deterministic about the
-// result: edits, partition, result relations and costs.
+// worker counts 2, 4, 8 and GOMAXPROCS against the serial reference and
+// compares everything deterministic about the result: edits, partition,
+// result-relation fingerprints and costs. This is the end-to-end half of
+// the determinism matrix — the per-stage halves live in the skyline and
+// PickSubsets tests above.
 func TestGenerateParallelMatchesSerial(t *testing.T) {
 	d, j, qc, r := example11(t)
 	serial, err := New(d, j, qc, r, withParallelism(1))
@@ -87,31 +94,35 @@ func TestGenerateParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := New(d, j, qc, r, withParallelism(runtime.GOMAXPROCS(0)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resP, err := parallel.Generate()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(resS.Edits, resP.Edits) {
-		t.Errorf("edits differ: %v vs %v", resS.Edits, resP.Edits)
-	}
-	if !reflect.DeepEqual(resS.Partition, resP.Partition) {
-		t.Errorf("partitions differ: %v vs %v", resS.Partition, resP.Partition)
-	}
-	if len(resS.Results) != len(resP.Results) {
-		t.Fatalf("result counts differ: %d vs %d", len(resS.Results), len(resP.Results))
-	}
-	for i := range resS.Results {
-		if resS.Results[i].Fingerprint() != resP.Results[i].Fingerprint() {
-			t.Errorf("result %d differs:\n%v\nvs\n%v", i, resS.Results[i], resP.Results[i])
+	for _, p := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
+		parallel, err := New(d, j, qc, r, withParallelism(p))
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if resS.DBCost != resP.DBCost || resS.ResultCost != resP.ResultCost {
-		t.Errorf("costs differ: (%d,%d) vs (%d,%d)",
-			resS.DBCost, resS.ResultCost, resP.DBCost, resP.ResultCost)
+		resP, err := parallel.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resS.Edits, resP.Edits) {
+			t.Errorf("parallelism %d: edits differ: %v vs %v", p, resS.Edits, resP.Edits)
+		}
+		if !reflect.DeepEqual(resS.Partition, resP.Partition) {
+			t.Errorf("parallelism %d: partitions differ: %v vs %v", p, resS.Partition, resP.Partition)
+		}
+		if len(resS.Results) != len(resP.Results) {
+			t.Fatalf("parallelism %d: result counts differ: %d vs %d",
+				p, len(resS.Results), len(resP.Results))
+		}
+		for i := range resS.Results {
+			if resS.Results[i].Fingerprint() != resP.Results[i].Fingerprint() {
+				t.Errorf("parallelism %d: result %d differs:\n%v\nvs\n%v",
+					p, i, resS.Results[i], resP.Results[i])
+			}
+		}
+		if resS.DBCost != resP.DBCost || resS.ResultCost != resP.ResultCost {
+			t.Errorf("parallelism %d: costs differ: (%d,%d) vs (%d,%d)",
+				p, resS.DBCost, resS.ResultCost, resP.DBCost, resP.ResultCost)
+		}
 	}
 }
 

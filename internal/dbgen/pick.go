@@ -3,6 +3,7 @@ package dbgen
 import (
 	"math"
 	"slices"
+	"sync"
 
 	"qfe/internal/cost"
 	"qfe/internal/par"
@@ -254,6 +255,156 @@ func (ctx *evalCtx) evaluate(indices []int, scr *evalScratch) (costVal, balance 
 	return ctx.g.Opts.Cost.Cost(in), cost.Balance(sizes), len(sizes)
 }
 
+// scoredChild is one enumerated candidate set flowing through the scoring
+// pipeline: the enumerator fills indices and parentBalance, a scorer fills
+// cost/balance/subsets, and the in-order consumer reads everything.
+type scoredChild struct {
+	indices       []int
+	parentBalance float64
+	cost          float64
+	balance       float64
+	subsets       int
+}
+
+// childBatch is the pipeline's hand-off unit: a run of children in
+// enumeration order plus a completion signal. Batching amortises channel
+// operations — scoring one set costs microseconds, so per-set sends would
+// drown the win in synchronisation. Batches cycle through a freelist
+// (scorer.run), so the WaitGroup is reused: the consumer's Wait always
+// returns before the enumerator's next Add.
+type childBatch struct {
+	items  []scoredChild
+	scored sync.WaitGroup // 1 while a scorer owns the batch
+}
+
+// scoreBatchSize trades pipeline latency against channel traffic; 64 sets
+// per batch keeps hand-off costs under ~2% of scoring time while letting
+// scoring start long before a level's enumeration finishes.
+const scoreBatchSize = 64
+
+// scorer runs Algorithm 4's enumerate → score → consume sequence as
+// pipelined stages connected by bounded channels (DESIGN.md §10).
+//
+//   - enumerate lists candidate sets in the serial evaluation order — it
+//     owns the dedup table, the feasibility filter and the evaluation
+//     budget, exactly as the serial sweep does;
+//   - scoring spreads batches of listed sets across the worker pool, each
+//     worker with its own evalScratch (evaluate is a pure function of the
+//     precomputed evalCtx);
+//   - consume sees every child in enumeration order with its score filled
+//     in, and applies the order-sensitive rules: the pruning decision, the
+//     top-k insertion, the frontier append.
+//
+// Because the order-sensitive stage replays the exact serial order, output
+// is byte-identical to the workers = 1 path at every worker count and batch
+// size — the pipeline changes when sets are scored, never what any stage
+// observes. With workers <= 1 the stages collapse into one loop with no
+// goroutines or channels: the deterministic reference.
+type scorer struct {
+	ctx       *evalCtx
+	workers   int
+	scratches []evalScratch    // one per worker, reused across levels
+	free      chan *childBatch // recycled batches, shared across levels
+}
+
+func newScorer(ctx *evalCtx, workers int) *scorer {
+	return &scorer{
+		ctx:       ctx,
+		workers:   workers,
+		scratches: make([]evalScratch, max(workers, 1)),
+		// Capacity exceeds the maximum number of distinct batches in flight
+		// (cur + ordered's buffer + the consumer's one), so returning a
+		// consumed batch never blocks and a session's levels cycle the same
+		// handful of batches.
+		free: make(chan *childBatch, 3*workers+2),
+	}
+}
+
+// run drives one level through the pipeline. enumerate must call emit once
+// per candidate set, in the serial evaluation order; consume is called once
+// per emitted set, in that same order, on the caller's goroutine. The
+// *scoredChild passed to consume is only valid for the duration of the call
+// — the serial path reuses one struct and the parallel path recycles batch
+// slots — so consume must copy out what it keeps.
+func (sc *scorer) run(enumerate func(emit func(indices []int, parentBalance float64)), consume func(ch *scoredChild)) {
+	if sc.workers <= 1 {
+		scr := &sc.scratches[0]
+		var ch scoredChild
+		enumerate(func(indices []int, parentBalance float64) {
+			ch = scoredChild{indices: indices, parentBalance: parentBalance}
+			ch.cost, ch.balance, ch.subsets = sc.ctx.evaluate(indices, scr)
+			consume(&ch)
+		})
+		return
+	}
+
+	// Bounded channels: work feeds the scorers, ordered preserves the
+	// enumeration sequence for the consumer. Every batch is sent to work
+	// BEFORE ordered, so a batch the consumer waits on is always visible to
+	// some scorer — the wait cannot deadlock. Capacities bound the number of
+	// in-flight batches (and so memory) without ever stalling the consumer:
+	// if enumeration runs ahead it blocks, while scoring and consumption
+	// drain freely. Consumed batches return through free for reuse, so a
+	// level's steady state allocates nothing per batch; free's capacity
+	// exceeds the maximum number in flight, so returns never block.
+	work := make(chan *childBatch, sc.workers)
+	ordered := make(chan *childBatch, 2*sc.workers)
+	free := sc.free
+	var wg sync.WaitGroup
+	for w := 0; w < sc.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			scr := &sc.scratches[worker]
+			for b := range work {
+				for i := range b.items {
+					it := &b.items[i]
+					it.cost, it.balance, it.subsets = sc.ctx.evaluate(it.indices, scr)
+				}
+				b.scored.Done()
+			}
+		}(w)
+	}
+	go func() {
+		next := func() *childBatch {
+			var b *childBatch
+			select {
+			case b = <-free:
+				b.items = b.items[:0]
+			default:
+				b = &childBatch{items: make([]scoredChild, 0, scoreBatchSize)}
+			}
+			b.scored.Add(1)
+			return b
+		}
+		cur := next()
+		enumerate(func(indices []int, parentBalance float64) {
+			cur.items = append(cur.items, scoredChild{indices: indices, parentBalance: parentBalance})
+			if len(cur.items) >= scoreBatchSize {
+				work <- cur
+				ordered <- cur
+				cur = next()
+			}
+		})
+		if len(cur.items) > 0 {
+			work <- cur
+			ordered <- cur
+		} else {
+			cur.scored.Done() // never handed to a scorer
+		}
+		close(work)
+		close(ordered)
+	}()
+	for b := range ordered {
+		b.scored.Wait()
+		for i := range b.items {
+			consume(&b.items[i])
+		}
+		free <- b
+	}
+	wg.Wait()
+}
+
 // feasible checks that the multiset of source classes demanded by the set
 // does not exceed the tuples available in each class. It counts duplicate
 // source-class ids over the (small) index slice — O(k²), zero allocations.
@@ -288,13 +439,17 @@ func (ctx *evalCtx) feasible(indices []int) bool {
 // O(2^|SP|) worst case without changing behaviour on the small frontiers
 // observed in practice (paper §5.4, Table 4).
 //
-// Each level runs in three phases: a serial enumeration that lists the
-// unique feasible candidate sets in the legacy evaluation order (up to the
-// remaining evaluation budget), a parallel scoring pass over that list —
-// evaluate is a pure function of the precomputed evalCtx — and a serial
-// replay that applies the pruning rule and ranking in the listed order. The
-// output is therefore byte-identical to the serial algorithm at every
-// Parallelism setting, including when MaxSetsEvaluated truncates the search.
+// Each level flows through a three-stage pipeline (see scorer): a serial
+// enumeration that lists the unique feasible candidate sets in the legacy
+// evaluation order (up to the remaining evaluation budget), concurrent
+// scoring of listed batches — evaluate is a pure function of the precomputed
+// evalCtx — and a serial in-order replay that applies the pruning rule and
+// ranking. Scoring of a level's early candidates overlaps enumeration of its
+// later ones; only the level boundary is a sequence point, because the
+// pruning rule (step 15) needs a child's own score before the child may
+// parent the next level. The output is byte-identical to the serial
+// algorithm at every Parallelism setting, including when MaxSetsEvaluated
+// truncates the search.
 func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 	if len(sp) == 0 {
 		return nil
@@ -307,42 +462,28 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 	if maxEval <= 0 {
 		maxEval = 50000
 	}
-
-	type evalResult struct {
-		cost    float64
-		balance float64
-		subsets int
-	}
-	scratches := make([]evalScratch, workers)
-	scoreAll := func(sets [][]int) []evalResult {
-		out := make([]evalResult, len(sets))
-		par.DoIndexed(len(sets), workers, func(worker, k int) {
-			c, b, n := ctx.evaluate(sets[k], &scratches[worker])
-			out[k] = evalResult{cost: c, balance: b, subsets: n}
-		})
-		return out
-	}
+	pipe := newScorer(ctx, workers)
 
 	// Steps 1–8: singletons.
 	type frontierEntry struct {
 		indices []int
 		balance float64
 	}
-	var singles [][]int
-	for i := range sp {
-		if ctx.feasible([]int{i}) {
-			singles = append(singles, []int{i})
+	var frontier []frontierEntry
+	pipe.run(func(emit func([]int, float64)) {
+		for i := range sp {
+			if single := []int{i}; ctx.feasible(single) {
+				// Singletons have no parent; +Inf parent balance means the
+				// consumer's pruning rule keeps every one, as steps 1–8 do.
+				emit(single, math.Inf(1))
+			}
 		}
-	}
-	evals := scoreAll(singles)
-	frontier := make([]frontierEntry, 0, len(singles))
-	for k, indices := range singles {
-		ev := evals[k]
+	}, func(ch *scoredChild) {
 		evaluated++
-		best.add(CandidateSet{Indices: indices,
-			Balance: ev.balance, Cost: ev.cost, Subsets: ev.subsets})
-		frontier = append(frontier, frontierEntry{indices: indices, balance: ev.balance})
-	}
+		best.add(CandidateSet{Indices: ch.indices,
+			Balance: ch.balance, Cost: ch.cost, Subsets: ch.subsets})
+		frontier = append(frontier, frontierEntry{indices: ch.indices, balance: ch.balance})
+	})
 
 	// inSet stamps which pair indices the current parent holds; bumping the
 	// generation clears it in O(1) between parents.
@@ -351,85 +492,73 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 
 	// Steps 9–21: grow sets while balance improves.
 	for level := 2; level <= len(sp) && len(frontier) > 0 && evaluated < maxEval; level++ {
-		// Phase 1: list this level's unique feasible children in evaluation
-		// order, recording the balance of the first parent reaching each
-		// (later parents are deduplicated away, as in the serial sweep).
-		// Deduplication is exact: children hash through the kernel fold and
-		// collisions are verified against the arena of already-seen sets, so
-		// no key strings are built.
-		type child struct {
-			indices       []int
-			parentBalance float64
-		}
-		var pending []child
+		// The enumeration stage lists this level's unique feasible children
+		// in evaluation order, recording the balance of the first parent
+		// reaching each (later parents are deduplicated away, as in the
+		// serial sweep). Deduplication is exact: children hash through the
+		// kernel fold and collisions are verified against the arena of
+		// already-seen sets, so no key strings are built. The dedup table,
+		// stamp array and child arena all stay on the enumerator stage —
+		// scoring and replay never touch them.
 		seen := newSeenSets(level, len(frontier)*len(sp))
 		childBuf := make([]int, level)
 		// Kept children are carved out of one arena per level instead of one
 		// allocation per child.
 		var childArena []int
 		budget := maxEval - evaluated
-	enumerate:
-		for _, op := range frontier {
-			generation++
-			for _, i := range op.indices {
-				inSet[i] = generation
-			}
-			for pi := range sp {
-				if inSet[pi] == generation {
-					continue
+		var next []frontierEntry
+		pipe.run(func(emit func([]int, float64)) {
+			emitted := 0
+		enumerate:
+			for _, op := range frontier {
+				generation++
+				for _, i := range op.indices {
+					inSet[i] = generation
 				}
-				// Merge pi into the sorted parent without a general sort.
-				k := 0
-				for _, v := range op.indices {
-					if v < pi {
-						childBuf[k] = v
+				for pi := range sp {
+					if inSet[pi] == generation {
+						continue
+					}
+					// Merge pi into the sorted parent without a general sort.
+					k := 0
+					for _, v := range op.indices {
+						if v < pi {
+							childBuf[k] = v
+							k++
+						}
+					}
+					childBuf[k] = pi
+					for _, v := range op.indices[k:] {
+						childBuf[k+1] = v
 						k++
 					}
-				}
-				childBuf[k] = pi
-				for _, v := range op.indices[k:] {
-					childBuf[k+1] = v
-					k++
-				}
-				if seen.insert(childBuf) {
-					continue // already recorded (feasible or not)
-				}
-				if !ctx.feasible(childBuf) {
-					continue
-				}
-				if len(childArena)+level > cap(childArena) {
-					childArena = make([]int, 0, 1024*level)
-				}
-				base := len(childArena)
-				childArena = append(childArena, childBuf...)
-				pending = append(pending, child{
-					indices:       childArena[base : base+level : base+level],
-					parentBalance: op.balance,
-				})
-				if len(pending) >= budget {
-					break enumerate
+					if seen.insert(childBuf) {
+						continue // already recorded (feasible or not)
+					}
+					if !ctx.feasible(childBuf) {
+						continue
+					}
+					if len(childArena)+level > cap(childArena) {
+						childArena = make([]int, 0, 1024*level)
+					}
+					base := len(childArena)
+					childArena = append(childArena, childBuf...)
+					emit(childArena[base:base+level:base+level], op.balance)
+					emitted++
+					if emitted >= budget {
+						break enumerate
+					}
 				}
 			}
-		}
-
-		// Phase 2: score the children concurrently.
-		sets := make([][]int, len(pending))
-		for k := range pending {
-			sets[k] = pending[k].indices
-		}
-		evals := scoreAll(sets)
-
-		// Phase 3: replay serially — prune, rank, grow the next frontier.
-		var next []frontierEntry
-		for k := range pending {
-			ch, ev := pending[k], evals[k]
+		}, func(ch *scoredChild) {
+			// In-order replay: prune, rank, grow the next frontier.
 			evaluated++
-			if ev.balance < ch.parentBalance { // strict improvement required (step 15)
-				next = append(next, frontierEntry{indices: ch.indices, balance: ev.balance})
+			if ch.balance < ch.parentBalance { // strict improvement required (step 15)
+				next = append(next, frontierEntry{indices: ch.indices, balance: ch.balance})
 				best.add(CandidateSet{Indices: ch.indices,
-					Balance: ev.balance, Cost: ev.cost, Subsets: ev.subsets})
+					Balance: ch.balance, Cost: ch.cost, Subsets: ch.subsets})
 			}
-		}
+		})
 		if g.Opts.MaxFrontier > 0 && len(next) > g.Opts.MaxFrontier {
 			slices.SortStableFunc(next, func(a, b frontierEntry) int {
 				switch {

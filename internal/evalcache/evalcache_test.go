@@ -184,6 +184,61 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestGetBatchConcurrentStress hammers GetBatch from many goroutines while
+// writers churn the same key space through Put-driven eviction — the shape
+// of concurrent winnowing rounds each subtracting cached candidates from a
+// shared scan. Every hit must return the exact relation stored for that key
+// (names encode keys), pinning that batch lookups never hand out an entry
+// mid-eviction or from a neighbouring key. Run under -race in CI.
+func TestGetBatchConcurrentStress(t *testing.T) {
+	const keySpace = 200
+	c := New(64) // small budget: eviction constantly in play
+	keyFor := func(i int) Key { return Key{Query: uint64(i), DB: uint64(i * 31)} }
+	relFor := func(i int) *relation.Relation { return rel(fmt.Sprintf("k%d", i), int64(i)) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ { // writers
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				k := (i*7 + w*13) % keySpace
+				c.Put(keyFor(k), relFor(k))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ { // batch readers
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]Key, 64)
+			for i := 0; i < 500; i++ {
+				base := (i * 11 * (w + 1)) % keySpace
+				for j := range keys {
+					keys[j] = keyFor((base + j) % keySpace)
+				}
+				res, hits := c.GetBatch(keys)
+				got := 0
+				for j, r := range res {
+					if r == nil {
+						continue
+					}
+					got++
+					if want := fmt.Sprintf("k%d", (base+j)%keySpace); r.Name != want {
+						t.Errorf("batch hit for %s returned %s", want, r.Name)
+						return
+					}
+				}
+				if got != hits {
+					t.Errorf("GetBatch reported %d hits, returned %d", hits, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 func TestDefaultIsShared(t *testing.T) {
 	if Default() != Default() {
 		t.Error("Default must return the same cache")

@@ -1,15 +1,20 @@
-// Package par provides the tiny worker-pool primitive shared by the
+// Package par provides the worker-scheduling primitives shared by the
 // engine's parallel loops. Every parallel path in the repository funnels
-// through Do so that the Parallelism knob has one semantics everywhere:
-// 0 selects runtime.GOMAXPROCS(0), 1 forces the legacy serial path (no
-// goroutines at all, loop order preserved), and n > 1 runs on n workers.
+// through Do / DoIndexed / DoBlocks so that the Parallelism knob has one
+// semantics everywhere: 0 selects runtime.GOMAXPROCS(0), 1 forces the legacy
+// serial path (no goroutines at all, loop order preserved), and n > 1 runs
+// on n workers.
+//
+// Since the round-pipeline PR the implementation is a chunked work-stealing
+// scheduler (steal.go) rather than a shared atomic counter: each worker owns
+// a contiguous slice of the iteration space, pops cache-friendly chunks from
+// its head, and steals the back half of a straggler's remainder when its own
+// range drains. Results must stay byte-identical to the serial loop at every
+// worker count, which callers get by writing to index-addressed output slots
+// — the scheduler only decides who computes an index, never what it computes.
 package par
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "runtime"
 
 // Workers resolves a Parallelism knob to a concrete worker count.
 func Workers(parallelism int) int {
@@ -21,10 +26,10 @@ func Workers(parallelism int) int {
 
 // Do runs fn(i) for every i in [0, n). With workers <= 1 (or n <= 1) it
 // degenerates to a plain serial loop in index order — the deterministic
-// reference path. Otherwise min(workers, n) goroutines pull indexes from a
-// shared atomic counter until the range is exhausted; fn must therefore be
-// safe to call concurrently, and callers that need deterministic output
-// collect per-index results and merge them in index order afterwards.
+// reference path. Otherwise min(workers, n) workers run the range with work
+// stealing; fn must therefore be safe to call concurrently, and callers that
+// need deterministic output collect per-index results and merge them in
+// index order afterwards.
 func Do(n, workers int, fn func(i int)) {
 	DoIndexed(n, workers, func(_, i int) { fn(i) })
 }
@@ -34,9 +39,16 @@ func Do(n, workers int, fn func(i int)) {
 // scratch buffers across items without synchronisation. The serial path
 // always reports worker 0. Worker ids must not influence results — only
 // allocation reuse — or serial/parallel equivalence breaks.
+//
+// Never more than min(workers, n) workers are engaged — the degenerate
+// n < workers case spawns no idle goroutines — and worker ids stay below
+// that clamped count.
 func DoIndexed(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
+	}
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
@@ -44,23 +56,62 @@ func DoIndexed(n, workers int, fn func(worker, i int)) {
 		}
 		return
 	}
-	if workers > n {
-		workers = n
+	runStealing(n, workers, ownerChunk(n, workers), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(worker, i)
+		}
+	})
+}
+
+// DoBlocks partitions [0, n) into blocks of the given size and runs
+// fn(worker, lo, hi) once per block, [lo, hi) being the block's index range
+// (the final block may be short). It is the entry point for kernels that
+// want a span rather than single indexes — the columnar batch evaluator's
+// row blocks — so the per-item dispatch cost vanishes into the block loop.
+// Blocks are the stealing granularity: workers own contiguous runs of
+// blocks and steal block runs, never splitting inside one.
+//
+// With workers <= 1 (or a single block) the blocks run serially in
+// ascending order on worker 0 — the deterministic reference path. block <= 0
+// selects one block per worker.
+func DoBlocks(n, block, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(worker, i)
+	if workers < 1 {
+		workers = 1
+	}
+	if block <= 0 {
+		block = (n + workers - 1) / workers
+	}
+	nBlocks := (n + block - 1) / block
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	span := func(worker, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*block, (b+1)*block
+			if hi > n {
+				hi = n
 			}
-		}(w)
+			fn(worker, lo, hi)
+		}
 	}
-	wg.Wait()
+	if workers <= 1 || nBlocks == 1 {
+		span(0, 0, nBlocks)
+		return
+	}
+	runStealing(nBlocks, workers, 1, span)
+}
+
+// ownerChunk sizes the owner-side pop: small enough that a straggler's
+// un-popped remainder stays stealable, large enough to amortise the CAS.
+// One sixteenth of a worker's fair share, floored at 1, keeps at least ~16
+// steal opportunities per worker range.
+func ownerChunk(n, workers int) int {
+	c := n / (workers * 16)
+	if c < 1 {
+		c = 1
+	}
+	return c
 }

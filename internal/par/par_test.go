@@ -1,0 +1,197 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestDoCoversRangeExactlyOnce drives the scheduler across worker counts,
+// sizes and (for DoBlocks) block sizes, asserting every index runs exactly
+// once — the only functional contract the stealing core must keep.
+func TestDoCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 65, 1000} {
+		for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+			counts := make([]atomic.Int32, n)
+			Do(n, workers, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDoIndexedWorkerIDsClamped pins the degenerate n < workers fix: worker
+// ids must stay below min(workers, n), i.e. requesting 8 workers for 3 items
+// engages at most 3 — no idle goroutines are spawned for the shortfall.
+func TestDoIndexedWorkerIDsClamped(t *testing.T) {
+	for _, tc := range []struct{ n, workers, maxID int }{
+		{3, 8, 2},
+		{1, 8, 0},
+		{2, 16, 1},
+		{5, 5, 4},
+		{100, 4, 3},
+	} {
+		var maxSeen atomic.Int32
+		maxSeen.Store(-1)
+		DoIndexed(tc.n, tc.workers, func(worker, i int) {
+			for {
+				cur := maxSeen.Load()
+				if int32(worker) <= cur || maxSeen.CompareAndSwap(cur, int32(worker)) {
+					break
+				}
+			}
+			if worker > tc.maxID {
+				t.Errorf("n=%d workers=%d: worker id %d > %d", tc.n, tc.workers, worker, tc.maxID)
+			}
+		})
+		if maxSeen.Load() < 0 && tc.n > 0 {
+			t.Errorf("n=%d workers=%d: fn never ran", tc.n, tc.workers)
+		}
+	}
+}
+
+// TestDoDegenerate pins the n=0 and n=1 cases: n=0 never calls fn (and
+// spawns nothing); n=1 runs exactly one call, as worker 0, synchronously on
+// the caller's goroutine regardless of the requested worker count.
+func TestDoDegenerate(t *testing.T) {
+	DoIndexed(0, 8, func(worker, i int) {
+		t.Errorf("n=0: unexpected call fn(%d, %d)", worker, i)
+	})
+	DoBlocks(0, 4, 8, func(worker, lo, hi int) {
+		t.Errorf("n=0: unexpected block call fn(%d, %d, %d)", worker, lo, hi)
+	})
+
+	before := runtime.NumGoroutine()
+	calls := 0
+	DoIndexed(1, 8, func(worker, i int) {
+		calls++ // unsynchronised on purpose: the n=1 fast path runs inline
+		if worker != 0 || i != 0 {
+			t.Errorf("n=1: got fn(%d, %d), want fn(0, 0)", worker, i)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("n=1: fn ran %d times", calls)
+	}
+	// The serial fast path must not have left goroutines behind.
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Errorf("n=1 spawned goroutines: %d -> %d", before, after)
+	}
+}
+
+// TestDoSerialPreservesOrder asserts the workers <= 1 reference path visits
+// indexes in ascending order with worker id 0 — the determinism anchor every
+// parallel path is compared against.
+func TestDoSerialPreservesOrder(t *testing.T) {
+	var order []int
+	DoIndexed(100, 1, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial path reported worker %d", worker)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+// TestDoBlocksCoverage asserts DoBlocks tiles [0, n) exactly: block spans
+// are disjoint, in-bounds, sized to the block (except the last), and cover
+// every index once — including when n % block is 0, 1 and block-1.
+func TestDoBlocksCoverage(t *testing.T) {
+	for _, block := range []int{1, 3, 64} {
+		for _, rem := range []int{0, 1, block - 1} {
+			n := 4*block + rem
+			for _, workers := range []int{1, 2, 4, 9} {
+				counts := make([]atomic.Int32, n)
+				DoBlocks(n, block, workers, func(worker, lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("block=%d n=%d: bad span [%d,%d)", block, n, lo, hi)
+						return
+					}
+					if hi-lo != block && hi != n {
+						t.Errorf("block=%d n=%d: short interior span [%d,%d)", block, n, lo, hi)
+					}
+					if lo%block != 0 {
+						t.Errorf("block=%d n=%d: misaligned span start %d", block, n, lo)
+					}
+					for i := lo; i < hi; i++ {
+						counts[i].Add(1)
+					}
+				})
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("block=%d n=%d workers=%d: index %d covered %d times",
+							block, n, workers, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStealRange exercises the packed-word primitive directly: concurrent
+// owner pops and thief steals must partition the range without loss or
+// duplication.
+func TestStealRange(t *testing.T) {
+	const n = 1 << 14
+	var r stealRange
+	r.hb.Store(packRange(0, n))
+	var covered [n]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(owner bool) {
+			defer wg.Done()
+			for {
+				var lo, hi int
+				var ok bool
+				if owner {
+					lo, hi, ok = r.take(7)
+				} else {
+					lo, hi, ok = r.steal()
+				}
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			}
+		}(g%2 == 0)
+	}
+	wg.Wait()
+	for i := range covered {
+		if got := covered[i].Load(); got != 1 {
+			t.Fatalf("index %d claimed %d times", i, got)
+		}
+	}
+}
+
+// TestDoMatchesSerialSum is a quick-check property: for random (n, workers),
+// an order-insensitive fold over fn's calls matches the serial loop — the
+// scheduler may reorder but never drop, duplicate or invent work.
+func TestDoMatchesSerialSum(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(2000)
+		workers := 1 + rng.Intn(12)
+		var sum atomic.Int64
+		Do(n, workers, func(i int) { sum.Add(int64(i)*3 + 1) })
+		want := int64(0)
+		for i := 0; i < n; i++ {
+			want += int64(i)*3 + 1
+		}
+		return sum.Load() == want
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

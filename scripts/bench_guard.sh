@@ -1,20 +1,38 @@
 #!/bin/sh
-# Allocation-regression guard for the benchmark smoke step.
+# Benchmark regression guard for the CI smoke step. Two gates:
 #
-# Runs BenchmarkMicroFullSession with -benchmem and fails when allocs/op
-# exceeds the recorded baseline (BENCH_baseline.txt) by more than the
-# allowed headroom. Wall-clock is machine-dependent and not gated;
-# allocations are deterministic modulo pool warm-up, which the headroom
-# absorbs.
+#  1. Allocation gate — BenchmarkMicroFullSession allocs/op must not exceed
+#     the recorded baseline (BENCH_baseline.txt) by more than the allowed
+#     headroom. Wall-clock is machine-dependent and not gated; allocations
+#     are deterministic modulo pool warm-up, which the headroom absorbs.
+#
+#  2. Speedup gate — the parallel variants of MicroSessionParallelism and
+#     MicroAlg4Parallelism must beat their serial twins by the required
+#     ratio. ns/op ratios between two sub-benchmarks of the same run on the
+#     same machine ARE comparable, unlike absolute times. The gate only runs
+#     when the host exposes at least SPEEDUP_MIN_CPUS cores: below that
+#     there is no parallel speedup to measure (the work-stealing paths still
+#     run — the determinism and race tests cover them — but wall clock
+#     cannot improve on one core), so the gate skips with a notice instead
+#     of reporting noise.
 #
 # Usage: scripts/bench_guard.sh [headroom_percent]
-# Refresh the baseline after an intentional change with:
+# Refresh the allocation baseline after an intentional change with:
 #   scripts/bench_guard.sh --record
 set -e
 
 cd "$(dirname "$0")/.."
 BASELINE_FILE=BENCH_baseline.txt
 HEADROOM="${1:-20}"
+
+# Speedup-gate thresholds: parallel ns/op must be <= serial * MAX_RATIO.
+# 45% on the full session (>= 2.2x speedup) and 67% on Algorithm 4
+# (>= 1.5x), measured with GOMAXPROCS = SPEEDUP_MIN_CPUS.
+SPEEDUP_MIN_CPUS=8
+SESSION_MAX_RATIO_PCT=45
+ALG4_MAX_RATIO_PCT=67
+
+# --- gate 1: allocations ----------------------------------------------------
 
 # -cpu 1 pins the measurement: allocs/op grows a few percent with
 # GOMAXPROCS (per-worker scratch, per-P pools), so recorded baselines and
@@ -46,4 +64,51 @@ if [ "$ALLOCS" -gt "$LIMIT" ]; then
     echo "bench_guard: FAIL — allocation regression over the recorded baseline" >&2
     exit 1
 fi
+echo "bench_guard: allocations OK"
+
+# --- gate 2: parallel speedup ----------------------------------------------
+
+NCPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$NCPU" -lt "$SPEEDUP_MIN_CPUS" ]; then
+    echo "bench_guard: SKIP speedup gate — host has $NCPU CPUs, need >= $SPEEDUP_MIN_CPUS"
+    echo "bench_guard: OK"
+    exit 0
+fi
+
+POUT=$(go test -run '^$' \
+    -bench 'BenchmarkMicroSessionParallelism|BenchmarkMicroAlg4Parallelism' \
+    -benchtime 3x -cpu "$SPEEDUP_MIN_CPUS" .)
+echo "$POUT"
+
+# ns_of <bench-regex>: ns/op of the named sub-benchmark from $POUT.
+ns_of() {
+    echo "$POUT" | awk -v pat="$1" '$1 ~ pat {
+        for (i = 1; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+    }' | head -1
+}
+
+check_ratio() {
+    NAME=$1; SERIAL=$2; PARALLEL=$3; MAXPCT=$4
+    if [ -z "$SERIAL" ] || [ -z "$PARALLEL" ]; then
+        echo "bench_guard: could not parse $NAME serial/parallel ns/op" >&2
+        exit 2
+    fi
+    # Integer arithmetic: parallel*100 <= serial*MAXPCT  <=>  ratio <= MAXPCT%.
+    RATIO_PCT=$((PARALLEL * 100 / SERIAL))
+    echo "bench_guard: $NAME parallel/serial = ${RATIO_PCT}% (limit ${MAXPCT}%)"
+    if [ $((PARALLEL * 100)) -gt $((SERIAL * MAXPCT)) ]; then
+        echo "bench_guard: FAIL — $NAME parallel speedup below the required ratio" >&2
+        exit 1
+    fi
+}
+
+check_ratio MicroSessionParallelism \
+    "$(ns_of '^BenchmarkMicroSessionParallelism/serial')" \
+    "$(ns_of '^BenchmarkMicroSessionParallelism/parallel')" \
+    "$SESSION_MAX_RATIO_PCT"
+check_ratio MicroAlg4Parallelism \
+    "$(ns_of '^BenchmarkMicroAlg4Parallelism/serial')" \
+    "$(ns_of '^BenchmarkMicroAlg4Parallelism/parallel')" \
+    "$ALG4_MAX_RATIO_PCT"
+
 echo "bench_guard: OK"
