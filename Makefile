@@ -6,7 +6,7 @@ GO ?= go
 # Restrict with e.g. `make bench BENCH=BenchmarkMicro` for a faster run.
 BENCH ?= .
 
-.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke
+.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke chaos chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -62,3 +62,23 @@ sim:
 	$(GO) run ./cmd/qfe-sim generate -n 100 -seed 1 -out corpus_sim.jsonl
 	$(GO) run ./cmd/qfe-sim run -corpus corpus_sim.jsonl -policy target \
 		-fresh 2 -require-converge 0.95 -report BENCH_sim.json
+
+# Crash-recovery chaos gate (CI): SIGKILL a live qfe-server mid-round a few
+# times and fail on any lost acknowledged session, outcome mismatch against
+# an uninterrupted reference pass, or session error (DESIGN.md §11).
+chaos-smoke:
+	$(GO) build -o /tmp/qfe-server ./cmd/qfe-server
+	$(GO) run ./cmd/qfe-sim generate -n 12 -seed 7 -out /tmp/qfe-chaos-smoke.jsonl
+	$(GO) run ./cmd/qfe-sim chaos -corpus /tmp/qfe-chaos-smoke.jsonl \
+		-server-bin /tmp/qfe-server -sessions 24 -workers 4 -kills 3 -seed 7 \
+		-report /tmp/qfe-chaos-smoke-report.json
+
+# Full chaos run recorded as BENCH_chaos.json (EXPERIMENTS.md): 80 sessions
+# (>=50 complete after skipping non-reproducible scenarios), 6 SIGKILL+
+# restart cycles at progress-randomized points.
+chaos:
+	$(GO) build -o /tmp/qfe-server ./cmd/qfe-server
+	$(GO) run ./cmd/qfe-sim generate -n 20 -seed 1 -out corpus_chaos.jsonl
+	$(GO) run ./cmd/qfe-sim chaos -corpus corpus_chaos.jsonl \
+		-server-bin /tmp/qfe-server -sessions 80 -workers 8 -kills 6 -seed 1 \
+		-report BENCH_chaos.json

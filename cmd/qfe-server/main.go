@@ -10,21 +10,30 @@
 //	                                tables and a result relation; responds
 //	                                with the first feedback round
 //	GET    /sessions/{id}           current round, or the outcome once done
-//	POST   /sessions/{id}/feedback  {"choice": i} — 0-based result index,
-//	                                -1 for "none of these"
+//	POST   /sessions/{id}/feedback  {"choice": i, "seq": n} — 0-based result
+//	                                index, -1 for "none of these"; seq makes
+//	                                the request idempotent under retries
 //	DELETE /sessions/{id}           abandon the session
 //	GET    /stats                   session/round counters + cache hit rate
 //
 // Sessions are evicted after -ttl of inactivity and capped at -max-sessions
-// live sessions (further creates get 429). With -state FILE, sessions are
-// snapshotted to FILE on SIGINT/SIGTERM and restored on the next start, so
-// in-flight sessions survive restarts.
+// live sessions (further creates get 429).
+//
+// Durability (DESIGN.md §11): with -state FILE, sessions are checkpointed to
+// FILE (atomic temp-file + rename) on shutdown and every -checkpoint
+// interval, and restored on the next start. With -wal DIR, every session
+// transition is additionally journaled to a write-ahead log before it is
+// acknowledged, so sessions survive crashes (SIGKILL, power loss per
+// -wal-sync) — recovery replays the WAL tail on top of the newest snapshot
+// and checkpoints truncate the log. -wal forces a deterministic pair-count
+// generator budget so replay reproduces rounds byte-identically.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,38 +42,101 @@ import (
 
 	"qfe/internal/core"
 	"qfe/internal/service"
+	"qfe/internal/wal"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
+		addr        = flag.String("addr", ":8080", "listen address (port 0 picks a free port, printed on start)")
 		ttl         = flag.Duration("ttl", 30*time.Minute, "evict sessions idle for longer than this")
 		maxSessions = flag.Int("max-sessions", 1024, "cap on live sessions (backpressure beyond)")
 		maxCand     = flag.Int("candidates", 32, "max candidate queries generated per session")
-		statePath   = flag.String("state", "", "snapshot file: restore on start, save on shutdown")
+		statePath   = flag.String("state", "", "snapshot file: restore on start, checkpoint on shutdown (atomic replace)")
 		parallelism = flag.Int("parallelism", 0, "worker count per session (0 = all cores)")
+
+		walDir       = flag.String("wal", "", "write-ahead log directory: journal every transition before acknowledging it")
+		walSync      = flag.String("wal-sync", "always", "WAL sync policy: always (fsync per record), interval, off")
+		walSyncEvery = flag.Duration("wal-sync-interval", 50*time.Millisecond, "fsync cadence for -wal-sync=interval")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 4<<20, "rotate WAL segments beyond this size")
+		checkpoint   = flag.Duration("checkpoint", time.Minute, "snapshot + WAL truncation cadence (needs -state; 0 disables)")
+		pairBudget   = flag.Int("pair-budget", 0, "deterministic generator budget in candidate pairs (0 = wall-clock default; forced to 100000 under -wal)")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
+	if *pairBudget > 0 {
+		cfg.Gen.Budget.MaxPairs = *pairBudget
+		cfg.Gen.Budget.MaxDuration = 0
+	}
+	if *walDir != "" && cfg.Gen.Budget.MaxPairs <= 0 {
+		// WAL replay re-runs the generator; a wall-clock budget would make
+		// the regenerated rounds machine- and load-dependent. Force the
+		// deterministic pair-count budget the simulator uses.
+		cfg.Gen.Budget.MaxPairs = 100000
+		cfg.Gen.Budget.MaxDuration = 0
+		fmt.Println("qfe-server: -wal forces deterministic generator budget (100000 pairs)")
+	}
+
+	var journal *wal.Log
+	if *walDir != "" {
+		pol, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qfe-server:", err)
+			os.Exit(1)
+		}
+		journal, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			SegmentBytes: *walSegBytes,
+			Sync:         pol,
+			SyncInterval: *walSyncEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qfe-server:", err)
+			os.Exit(1)
+		}
+	}
+
 	m := service.New(service.Options{
 		TTL:         *ttl,
 		MaxSessions: *maxSessions,
 		Config:      cfg,
+		Journal:     journal,
 	})
 
-	if *statePath != "" {
-		if f, err := os.Open(*statePath); err == nil {
-			n, errs := m.Load(f)
-			f.Close()
-			for _, e := range errs {
-				fmt.Fprintln(os.Stderr, "qfe-server: restore:", e)
-			}
-			fmt.Printf("qfe-server: restored %d session(s) from %s\n", n, *statePath)
-		} else if !os.IsNotExist(err) {
-			fmt.Fprintln(os.Stderr, "qfe-server:", err)
+	// Recover before serving: newest snapshot first, then deterministic
+	// replay of the WAL tail. With no -wal this degrades to the plain
+	// snapshot restore.
+	if *statePath != "" || *walDir != "" {
+		rstats, err := m.Recover(*statePath, *walDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qfe-server: recover:", err)
 			os.Exit(1)
+		}
+		for _, e := range rstats.Errors {
+			fmt.Fprintln(os.Stderr, "qfe-server: recover:", e)
+		}
+		if rstats.SnapshotSessions+rstats.ReplaySessions > 0 || rstats.WAL.Records > 0 {
+			// A session can be counted in both: restored from the snapshot
+			// and then advanced by WAL replay.
+			fmt.Printf("qfe-server: recovery: %d session(s) from snapshot, %d touched by WAL replay (%d record(s)) in %s\n",
+				rstats.SnapshotSessions, rstats.ReplaySessions,
+				rstats.WAL.Records, time.Duration(rstats.DurationNs))
+		}
+		if rstats.WAL.TornTail {
+			fmt.Fprintf(os.Stderr, "qfe-server: recover: torn WAL tail (%d byte(s) dropped) — expected after a crash\n",
+				rstats.WAL.DroppedBytes)
+		}
+		if rstats.WAL.Corrupt {
+			fmt.Fprintf(os.Stderr, "qfe-server: recover: WAL corruption before the tail (%d byte(s) dropped)\n",
+				rstats.WAL.DroppedBytes)
+		}
+		// Fold the recovered state into a fresh snapshot immediately so the
+		// replayed tail is not replayed again next time.
+		if *statePath != "" {
+			if _, err := m.Checkpoint(*statePath); err != nil {
+				fmt.Fprintln(os.Stderr, "qfe-server: checkpoint:", err)
+			}
 		}
 	}
 
@@ -82,10 +154,29 @@ func main() {
 		}
 	}()
 
+	// Periodic checkpoint: atomic snapshot + WAL truncation, bounding both
+	// recovery replay time and log disk usage.
+	if *statePath != "" && *checkpoint > 0 {
+		go func() {
+			t := time.NewTicker(*checkpoint)
+			defer t.Stop()
+			for range t.C {
+				if _, err := m.Checkpoint(*statePath); err != nil {
+					fmt.Fprintln(os.Stderr, "qfe-server: checkpoint:", err)
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           service.NewHandler(m, service.HandlerOptions{MaxCandidates: *maxCand}),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfe-server:", err)
+		os.Exit(1)
 	}
 
 	done := make(chan struct{})
@@ -101,22 +192,24 @@ func main() {
 		}
 		cancel()
 		if *statePath != "" {
-			if f, err := os.Create(*statePath); err == nil {
-				if n, err := m.Save(f); err != nil {
-					fmt.Fprintln(os.Stderr, "qfe-server: save:", err)
-				} else {
-					fmt.Printf("qfe-server: saved %d session(s) to %s\n", n, *statePath)
-				}
-				f.Close()
-			} else {
+			if n, err := m.Checkpoint(*statePath); err != nil {
 				fmt.Fprintln(os.Stderr, "qfe-server: save:", err)
+			} else {
+				fmt.Printf("qfe-server: saved %d session(s) to %s\n", n, *statePath)
+			}
+		}
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "qfe-server: wal:", err)
 			}
 		}
 		close(done)
 	}()
 
-	fmt.Printf("qfe-server: listening on %s (ttl %s, max %d sessions)\n", *addr, *ttl, *maxSessions)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	// Print the bound address (not the flag): -addr with port 0 lets test
+	// harnesses pick a free port and parse it from this line.
+	fmt.Printf("qfe-server: listening on %s (ttl %s, max %d sessions)\n", ln.Addr(), *ttl, *maxSessions)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "qfe-server:", err)
 		os.Exit(1)
 	}

@@ -23,12 +23,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"qfe/internal/scenario"
 	"qfe/internal/simulate"
@@ -45,6 +47,8 @@ func main() {
 		err = runGenerate(os.Args[2:])
 	case "run":
 		err = runRun(os.Args[2:])
+	case "chaos":
+		err = runChaos(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -67,7 +71,10 @@ func usage() {
   qfe-sim run -corpus FILE [-policy target|worst|noisy|abandon]
           [-workers N] [-fresh N] [-max-candidates N] [-report FILE]
           [-server URL] [-noise P] [-abandon N] [-no-inject]
-          [-require-converge RATE] [-allow-violations]`)
+          [-require-converge RATE] [-allow-violations]
+  qfe-sim chaos -corpus FILE -server-bin PATH [-sessions N] [-workers N]
+          [-kills N] [-seed S] [-wal-sync POLICY] [-checkpoint D]
+          [-max-candidates N] [-report FILE] [-quiet]`)
 }
 
 // rangeFlag parses "min:max" (or a single value) into a MinMax.
@@ -248,6 +255,111 @@ func runRun(args []string) error {
 	if *requireConverge > 0 && rep.ConvergenceRate < *requireConverge {
 		return fmt.Errorf("convergence rate %.4f below required %.4f",
 			rep.ConvergenceRate, *requireConverge)
+	}
+	return nil
+}
+
+// runChaos drives the crash-recovery harness: a qfe-server subprocess with
+// a WAL is SIGKILLed and restarted under load; the run fails when any
+// acknowledged session is lost or any outcome differs from an uninterrupted
+// reference run. Doc comment at internal/simulate/chaos.go.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	corpusPath := fs.String("corpus", "corpus.jsonl", "corpus file to drive sessions from")
+	serverBin := fs.String("server-bin", "", "path to a built qfe-server binary (required)")
+	sessions := fs.Int("sessions", 50, "sessions to drive (cycling the corpus)")
+	workers := fs.Int("workers", 8, "concurrent client sessions")
+	kills := fs.Int("kills", 5, "SIGKILL+restart cycles to inject (progress-triggered)")
+	seed := fs.Int64("seed", 1, "kill-point seed")
+	walSync := fs.String("wal-sync", "off", "server -wal-sync policy (always, interval, off)")
+	checkpoint := fs.Duration("checkpoint", 500*time.Millisecond, "server -checkpoint cadence")
+	maxCand := fs.Int("max-candidates", 16, "candidate-set size cap per session")
+	reportPath := fs.String("report", "BENCH_chaos.json", "JSON report output file")
+	quiet := fs.Bool("quiet", false, "suppress per-kill progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverBin == "" {
+		return fmt.Errorf("chaos: -server-bin is required")
+	}
+
+	f, err := os.Open(*corpusPath)
+	if err != nil {
+		return err
+	}
+	rd, err := scenario.NewReader(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var corpus []*scenario.Scenario
+	for {
+		s, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		corpus = append(corpus, s)
+	}
+	f.Close()
+	if len(corpus) == 0 {
+		return fmt.Errorf("corpus %s is empty", *corpusPath)
+	}
+
+	log := io.Writer(os.Stderr)
+	if *quiet {
+		log = io.Discard
+	}
+	rep, err := simulate.RunChaos(simulate.ChaosOptions{
+		ServerBin:     *serverBin,
+		Corpus:        corpus,
+		Sessions:      *sessions,
+		Workers:       *workers,
+		Kills:         *kills,
+		Seed:          *seed,
+		SyncPolicy:    *walSync,
+		Checkpoint:    *checkpoint,
+		MaxCandidates: *maxCand,
+		Log:           log,
+	})
+	if err != nil {
+		return err
+	}
+
+	out, err := os.Create(*reportPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("%d sessions, %d workers, %d kill(s) -> %d restart(s)\n",
+		rep.Sessions, rep.Workers, rep.Kills, rep.Restarts)
+	fmt.Printf("completed %d, lost %d, mismatched %d, errors %d, skipped %d; %d HTTP retries\n",
+		rep.Completed, rep.Lost, rep.Mismatched, rep.Errors, rep.Skipped, rep.HTTPRetries)
+	fmt.Printf("recovered %d from snapshots + %d via replay (%d WAL records); recovery max %s, total %s\n",
+		rep.SessionsRestored, rep.SessionsReplayed, rep.WALRecordsReplayed,
+		time.Duration(rep.RecoveryMaxNs), time.Duration(rep.RecoveryTotalNs))
+	fmt.Printf("report written to %s\n", *reportPath)
+
+	if rep.Lost > 0 {
+		return fmt.Errorf("%d acknowledged session(s) lost to a crash", rep.Lost)
+	}
+	if rep.Mismatched > 0 {
+		return fmt.Errorf("%d session outcome(s) differ from the uninterrupted reference run", rep.Mismatched)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d session(s) failed", rep.Errors)
 	}
 	return nil
 }

@@ -368,6 +368,13 @@ func (s *Session) Pending() *Round {
 	return s.pending
 }
 
+// Seq returns the session-global number of the most recently generated
+// round (0 before the first round). When the session is suspended this
+// equals Pending().Seq; once it finishes, every round up to Seq has been
+// answered. The service tier uses it to make feedback idempotent across
+// crash-recovery replays.
+func (s *Session) Seq() int { return s.seq }
+
 // Done reports whether the session has finished (including by failure).
 func (s *Session) Done() bool { return s.state == stateDone }
 

@@ -77,6 +77,52 @@ type ConfigSnapshot struct {
 	GenParallelism  int     `json:"genParallelism"`
 }
 
+// SnapshotConfig captures cfg in the serializable form. The evaluation
+// cache is process state and is not captured.
+func SnapshotConfig(cfg Config) ConfigSnapshot {
+	return ConfigSnapshot{
+		MaxIterations:   cfg.MaxIterations,
+		MergeEquivalent: cfg.MergeEquivalent,
+		MaxEquivClasses: cfg.MaxEquivClasses,
+		Parallelism:     cfg.Parallelism,
+		Beta:            cfg.Gen.Cost.Beta,
+		BudgetNs:        int64(cfg.Gen.Budget.MaxDuration),
+		BudgetPairs:     cfg.Gen.Budget.MaxPairs,
+		Strategy:        uint8(cfg.Gen.Strategy),
+		MaxSkylinePairs: cfg.Gen.MaxSkylinePairs,
+		MaxFrontier:     cfg.Gen.MaxFrontier,
+		MaxSetsEval:     cfg.Gen.MaxSetsEvaluated,
+		MaxCandSets:     cfg.Gen.MaxCandidateSets,
+		GenParallelism:  cfg.Gen.Parallelism,
+	}
+}
+
+// Config rebuilds the runtime configuration, attaching the process-wide
+// default evaluation cache (cache hits never change outcomes).
+func (cs ConfigSnapshot) Config() Config {
+	cfg := Config{
+		MaxIterations:   cs.MaxIterations,
+		MergeEquivalent: cs.MergeEquivalent,
+		MaxEquivClasses: cs.MaxEquivClasses,
+		Parallelism:     cs.Parallelism,
+		Gen: dbgen.Options{
+			Budget: dbgen.Budget{
+				MaxDuration: time.Duration(cs.BudgetNs),
+				MaxPairs:    cs.BudgetPairs,
+			},
+			Strategy:         dbgen.Strategy(cs.Strategy),
+			MaxSkylinePairs:  cs.MaxSkylinePairs,
+			MaxFrontier:      cs.MaxFrontier,
+			MaxSetsEvaluated: cs.MaxSetsEval,
+			MaxCandidateSets: cs.MaxCandSets,
+			Parallelism:      cs.GenParallelism,
+			Cache:            evalcache.Default(),
+		},
+	}
+	cfg.Gen.Cost.Beta = cs.Beta
+	return cfg
+}
+
 // OutcomeSnapshot serializes an Outcome with queries as indexes into QC.
 type OutcomeSnapshot struct {
 	Found        bool             `json:"found"`
@@ -139,21 +185,7 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 		GroupIndex: s.gi,
 		GroupIter:  s.groupIter,
 		Seq:        s.seq,
-		Config: ConfigSnapshot{
-			MaxIterations:   s.Config.MaxIterations,
-			MergeEquivalent: s.Config.MergeEquivalent,
-			MaxEquivClasses: s.Config.MaxEquivClasses,
-			Parallelism:     s.Config.Parallelism,
-			Beta:            s.Config.Gen.Cost.Beta,
-			BudgetNs:        int64(s.Config.Gen.Budget.MaxDuration),
-			BudgetPairs:     s.Config.Gen.Budget.MaxPairs,
-			Strategy:        uint8(s.Config.Gen.Strategy),
-			MaxSkylinePairs: s.Config.Gen.MaxSkylinePairs,
-			MaxFrontier:     s.Config.Gen.MaxFrontier,
-			MaxSetsEval:     s.Config.Gen.MaxSetsEvaluated,
-			MaxCandSets:     s.Config.Gen.MaxCandidateSets,
-			GenParallelism:  s.Config.Gen.Parallelism,
-		},
+		Config:     SnapshotConfig(s.Config),
 	}
 	switch {
 	case s.state == stateNew:
@@ -271,27 +303,7 @@ func Restore(snap *Snapshot, oracle feedback.Oracle) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := Config{
-		MaxIterations:   snap.Config.MaxIterations,
-		MergeEquivalent: snap.Config.MergeEquivalent,
-		MaxEquivClasses: snap.Config.MaxEquivClasses,
-		Parallelism:     snap.Config.Parallelism,
-		Gen: dbgen.Options{
-			Budget: dbgen.Budget{
-				MaxDuration: time.Duration(snap.Config.BudgetNs),
-				MaxPairs:    snap.Config.BudgetPairs,
-			},
-			Strategy:         dbgen.Strategy(snap.Config.Strategy),
-			MaxSkylinePairs:  snap.Config.MaxSkylinePairs,
-			MaxFrontier:      snap.Config.MaxFrontier,
-			MaxSetsEvaluated: snap.Config.MaxSetsEval,
-			MaxCandidateSets: snap.Config.MaxCandSets,
-			Parallelism:      snap.Config.GenParallelism,
-			Cache:            evalcache.Default(),
-		},
-	}
-	cfg.Gen.Cost.Beta = snap.Config.Beta
-	s, err := NewStepSession(d, r, qc, cfg)
+	s, err := NewStepSession(d, r, qc, snap.Config.Config())
 	if err != nil {
 		return nil, err
 	}

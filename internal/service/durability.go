@@ -1,0 +1,391 @@
+// Durability: the WAL-backed crash-recovery path for the session manager
+// (DESIGN.md §11). The write side lives in service.go (Create/FeedbackAt
+// journal every accepted transition before acknowledging it); this file owns
+// the read side — Recover rebuilds the pre-crash session population from the
+// newest snapshot plus a deterministic replay of the WAL tail — and the
+// compaction protocol, Checkpoint, which bounds replay work by atomically
+// persisting a snapshot and truncating the log segments it covers.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"qfe/internal/algebra"
+	"qfe/internal/codec"
+	"qfe/internal/core"
+	"qfe/internal/db"
+	"qfe/internal/par"
+	"qfe/internal/relation"
+	"qfe/internal/wal"
+)
+
+// createdPayload is the schema of a TypeCreated record's opaque payload:
+// everything replay needs to rebuild the session from nothing — the inputs
+// in codec wire form and the deterministic per-session config. The wal
+// package never interprets it.
+type createdPayload struct {
+	DB     codec.Database      `json:"db"`
+	R      codec.Relation      `json:"r"`
+	QC     []codec.Query       `json:"qc"`
+	Config core.ConfigSnapshot `json:"config"`
+}
+
+// createdRecords builds the journal batch for a successful Create: the
+// created record, plus a finished marker when the session completed on
+// Start (no feedback will ever follow). Caller holds h.mu.
+func (m *Manager) createdRecords(h *managed, d *db.Database, r *relation.Relation,
+	qc []*algebra.Query, now time.Time) ([]wal.Record, error) {
+	payload, err := json.Marshal(createdPayload{
+		DB:     codec.EncodeDatabase(d),
+		R:      codec.EncodeRelation(r),
+		QC:     codec.EncodeQueries(qc),
+		Config: core.SnapshotConfig(m.opts.Config),
+	})
+	if err != nil {
+		return nil, err
+	}
+	recs := []wal.Record{{Type: wal.TypeCreated, ID: h.id, UnixNs: now.UnixNano(),
+		Created: payload}}
+	if h.outcome != nil {
+		recs = append(recs, wal.Record{Type: wal.TypeFinished, ID: h.id,
+			UnixNs: now.UnixNano()})
+	}
+	return recs, nil
+}
+
+// RecoveryStats reports what Recover rebuilt.
+type RecoveryStats struct {
+	// SnapshotSessions is how many sessions the snapshot file restored.
+	SnapshotSessions int
+	// ReplaySessions is how many sessions the WAL tail rebuilt from scratch
+	// or advanced past their snapshot state.
+	ReplaySessions int
+	// RecordsApplied counts WAL records that changed state during replay
+	// (created records that rebuilt a session, feedback records applied,
+	// abandoned/dead markers honoured). Records made redundant by the
+	// snapshot are replayed but not counted.
+	RecordsApplied int
+	// WAL is the raw log scan outcome (segments read, torn tail, corruption).
+	WAL wal.ReplayStats
+	// DurationNs is the wall time the whole recovery took.
+	DurationNs int64
+	// Errors collects per-session replay failures. A failed session is left
+	// as a dead tombstone (clients get ErrDead, not ErrNotFound) rather than
+	// silently dropped.
+	Errors []error
+}
+
+// sessionTrail is the ordered WAL history of one session id.
+type sessionTrail struct {
+	id        string
+	recs      []wal.Record
+	abandoned bool
+	dead      bool
+}
+
+// Recover rebuilds the manager's session population after a restart: load
+// the newest snapshot (if snapshotPath names an existing file), then replay
+// the WAL tail in walDir through the engine. Replay is idempotent — every
+// feedback record carries the round seq it answered, so records already
+// reflected in the snapshot are skipped and only the post-snapshot suffix
+// advances each session. Sessions with no snapshot entry are rebuilt from
+// their created record (deterministic by the pair-count generator budget:
+// Start and Feedback reproduce the pre-crash rounds byte-identically).
+// Independent sessions replay in parallel.
+//
+// Recover is not safe to run concurrently with client traffic; call it
+// before serving. It returns an error only for infrastructure failures
+// (unreadable WAL); per-session damage is reported in RecoveryStats.Errors
+// and leaves dead tombstones.
+func (m *Manager) Recover(snapshotPath, walDir string) (RecoveryStats, error) {
+	start := time.Now()
+	var stats RecoveryStats
+
+	if snapshotPath != "" {
+		f, err := os.Open(snapshotPath)
+		if err == nil {
+			n, errs := m.Load(f)
+			f.Close()
+			stats.SnapshotSessions = n
+			stats.Errors = append(stats.Errors, errs...)
+		} else if !os.IsNotExist(err) {
+			return stats, fmt.Errorf("service: recover: snapshot: %w", err)
+		}
+	}
+
+	// Group the log per session, preserving per-session record order (the
+	// log is append-ordered, and one session's records are serialized by its
+	// handle mutex, so within a session the order is the transition order).
+	var order []string
+	trails := map[string]*sessionTrail{}
+	walStats, err := wal.Replay(walDir, func(rec wal.Record) error {
+		t, ok := trails[rec.ID]
+		if !ok {
+			t = &sessionTrail{id: rec.ID}
+			trails[rec.ID] = t
+			order = append(order, rec.ID)
+		}
+		t.recs = append(t.recs, rec)
+		switch rec.Type {
+		case wal.TypeAbandoned:
+			t.abandoned = true
+		case wal.TypeDead:
+			t.dead = true
+		}
+		return nil
+	})
+	stats.WAL = walStats
+	if err != nil {
+		return stats, fmt.Errorf("service: recover: %w", err)
+	}
+
+	type replayResult struct {
+		advanced bool
+		applied  int
+		err      error
+	}
+	results := make([]replayResult, len(order))
+	par.Do(len(order), par.Workers(0), func(i int) {
+		t := trails[order[i]]
+		advanced, applied, err := m.replaySession(t)
+		results[i] = replayResult{advanced: advanced, applied: applied, err: err}
+	})
+	for i, res := range results {
+		stats.RecordsApplied += res.applied
+		if res.advanced {
+			stats.ReplaySessions++
+		}
+		if res.err != nil {
+			stats.Errors = append(stats.Errors, fmt.Errorf("session %s: %w", order[i], res.err))
+		}
+	}
+
+	m.mu.Lock()
+	m.enforceCapLocked()
+	m.mu.Unlock()
+
+	stats.DurationNs = int64(time.Since(start))
+	m.replayed.Add(uint64(stats.ReplaySessions))
+	m.recordsReplayed.Add(uint64(stats.RecordsApplied))
+	m.recoveryNs.Store(stats.DurationNs)
+	return stats, nil
+}
+
+// replaySession applies one session's WAL trail on top of whatever the
+// snapshot restored (possibly nothing). It reports whether the session was
+// rebuilt or advanced, how many records changed state, and any replay
+// failure — which tombstones the session rather than dropping it, so a
+// client holding its id sees ErrDead, never a silent ErrNotFound.
+func (m *Manager) replaySession(t *sessionTrail) (advanced bool, applied int, err error) {
+	if t.abandoned {
+		// The user walked away pre-crash; honour it whether or not the
+		// snapshot still holds the session.
+		m.mu.Lock()
+		_, had := m.sessions[t.id]
+		delete(m.sessions, t.id)
+		m.mu.Unlock()
+		if had {
+			applied++
+		}
+		return false, applied, nil
+	}
+
+	m.mu.Lock()
+	h := m.sessions[t.id]
+	m.mu.Unlock()
+
+	if h == nil {
+		// Not in the snapshot: rebuild from the created record, if the tail
+		// has one. A trail without it means the created record was truncated
+		// by a checkpoint whose snapshot we then failed to restore — report,
+		// and tombstone if the session is not known terminal.
+		var created *wal.Record
+		for i := range t.recs {
+			if t.recs[i].Type == wal.TypeCreated {
+				created = &t.recs[i]
+				break
+			}
+		}
+		if created == nil {
+			if t.dead {
+				m.installTombstone(t.id, fmt.Errorf("journal: session died pre-crash"))
+				return false, applied, nil
+			}
+			return false, applied, fmt.Errorf("feedback records without created record or snapshot entry")
+		}
+		h, err = m.rebuildSession(t.id, created)
+		if err != nil {
+			m.installTombstone(t.id, err)
+			return false, applied, err
+		}
+		advanced = true
+		applied++
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, rec := range t.recs {
+		if rec.Type != wal.TypeFeedback {
+			continue
+		}
+		if h.dead != nil {
+			// Dead tombstone (restored failed session): nothing to advance.
+			break
+		}
+		if h.outcome != nil {
+			// Finished. Records at or below the session's last round are
+			// history the snapshot already reflects (a checkpoint's rotate
+			// happens before its snapshot, so a session's final rounds can
+			// legitimately sit in the surviving tail); anything beyond means
+			// the log and engine disagree.
+			if rec.Seq <= h.sess.Seq() {
+				continue
+			}
+			err = fmt.Errorf("feedback for round %d after session finished at round %d",
+				rec.Seq, h.sess.Seq())
+			break
+		}
+		pend := h.round
+		if pend == nil {
+			err = fmt.Errorf("feedback for round %d but no round pending", rec.Seq)
+			break
+		}
+		if rec.Seq < pend.Seq {
+			// Already reflected in the snapshot this session restored from.
+			continue
+		}
+		if rec.Seq > pend.Seq {
+			err = fmt.Errorf("feedback gap: journal answers round %d, session is at round %d",
+				rec.Seq, pend.Seq)
+			break
+		}
+		round, outcome, ferr := h.sess.Feedback(rec.Choice)
+		if ferr != nil {
+			err = fmt.Errorf("replaying round %d choice %d: %w", pend.Seq, rec.Choice, ferr)
+			break
+		}
+		h.round = round
+		if round == nil {
+			h.outcome = outcome
+			h.done.Store(true)
+		}
+		advanced = true
+		applied++
+	}
+	if err != nil {
+		h.dead = fmt.Errorf("%w: session %s: recovery: %v", ErrDead, t.id, err)
+		h.done.Store(true)
+		return advanced, applied, err
+	}
+	if t.dead && h.dead == nil {
+		// The pre-crash process saw a fatal stepping error on the *next*
+		// (unjournaled) choice; the tombstone is authoritative.
+		h.dead = fmt.Errorf("%w: session %s: died pre-crash", ErrDead, t.id)
+		h.done.Store(true)
+		applied++
+	}
+	return advanced, applied, nil
+}
+
+// rebuildSession reconstructs a session from its created record: decode the
+// payload, build a fresh engine session, and run Start — deterministic under
+// a pair-count generator budget, so the regenerated round is byte-identical
+// to the acknowledged pre-crash one.
+func (m *Manager) rebuildSession(id string, created *wal.Record) (*managed, error) {
+	var p createdPayload
+	if err := json.Unmarshal(created.Created, &p); err != nil {
+		return nil, fmt.Errorf("created payload: %w", err)
+	}
+	d, err := codec.DecodeDatabase(p.DB)
+	if err != nil {
+		return nil, fmt.Errorf("created payload: %w", err)
+	}
+	r, err := codec.DecodeRelation(p.R)
+	if err != nil {
+		return nil, fmt.Errorf("created payload: %w", err)
+	}
+	qc, err := codec.DecodeQueries(p.QC)
+	if err != nil {
+		return nil, fmt.Errorf("created payload: %w", err)
+	}
+	sess, err := core.NewStepSession(d, r, qc, p.Config.Config())
+	if err != nil {
+		return nil, err
+	}
+	now := m.opts.Clock()
+	h := &managed{
+		id:       id,
+		sess:     sess,
+		created:  time.Unix(0, created.UnixNs),
+		lastUsed: now,
+	}
+	round, err := sess.Start()
+	if err != nil {
+		return nil, fmt.Errorf("replaying start: %w", err)
+	}
+	h.round = round
+	if round == nil {
+		h.outcome, _ = sess.Outcome()
+		h.done.Store(true)
+	}
+	m.mu.Lock()
+	m.sessions[id] = h
+	m.mu.Unlock()
+	return h, nil
+}
+
+// installTombstone registers a dead handle for a session that could not be
+// recovered, so clients holding its id get ErrDead instead of ErrNotFound.
+func (m *Manager) installTombstone(id string, cause error) {
+	now := m.opts.Clock()
+	h := &managed{id: id, created: now, lastUsed: now}
+	h.dead = fmt.Errorf("%w: session %s: recovery: %v", ErrDead, id, cause)
+	h.done.Store(true)
+	m.mu.Lock()
+	m.sessions[id] = h
+	m.mu.Unlock()
+}
+
+// Checkpoint atomically persists the current session population to path and
+// truncates the WAL segments the snapshot makes redundant, bounding recovery
+// replay work. The protocol: rotate the log first (the returned boundary
+// separates pre-checkpoint segments from the live one), then snapshot — so
+// every record below the boundary describes a session the snapshot covers
+// (or one legitimately gone); records racing in during the snapshot land at
+// or above the boundary and survive truncation, and replaying them against
+// the snapshot is idempotent by the seq guards. Truncation is skipped when
+// any healthy session fails to snapshot: its history must stay replayable.
+//
+// An empty path is a no-op (no state file configured). Checkpoint is safe
+// to run concurrently with client traffic; it returns the number of
+// sessions persisted.
+func (m *Manager) Checkpoint(path string) (int, error) {
+	if path == "" {
+		return 0, nil
+	}
+	var boundary uint64
+	if m.opts.Journal != nil {
+		b, err := m.opts.Journal.Rotate()
+		if err != nil {
+			return 0, fmt.Errorf("service: checkpoint: %w", err)
+		}
+		boundary = b
+	}
+	state, failed := m.collectState()
+	data, err := json.Marshal(state)
+	if err != nil {
+		return 0, fmt.Errorf("service: checkpoint: %w", err)
+	}
+	if err := wal.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
+		return 0, fmt.Errorf("service: checkpoint: %w", err)
+	}
+	if m.opts.Journal != nil && failed == 0 {
+		if err := m.opts.Journal.TruncateBefore(boundary); err != nil {
+			return len(state.Sessions), fmt.Errorf("service: checkpoint: truncate: %w", err)
+		}
+	}
+	return len(state.Sessions), nil
+}

@@ -80,9 +80,16 @@ type NamedCSV struct {
 }
 
 // FeedbackRequest is the POST /sessions/{id}/feedback body. Choice is a
-// 0-based index into the round's results; -1 means "none of these".
+// 0-based index into the round's results; -1 means "none of these". Seq,
+// when positive, names the round the choice answers (RoundJSON.Seq) and
+// makes the request idempotent: retrying after a lost acknowledgement
+// returns the current status instead of double-applying, and a seq beyond
+// any round the server has produced is rejected with 409 (acknowledged
+// state was lost — the crash-recovery detector). Seq 0 preserves the legacy
+// unconditional apply.
 type FeedbackRequest struct {
 	Choice int `json:"choice"`
+	Seq    int `json:"seq,omitempty"`
 }
 
 // RoundJSON is the wire form of a pending feedback round.
@@ -180,7 +187,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrCapacity):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrFinished):
+	case errors.Is(err, ErrFinished), errors.Is(err, ErrSeqAhead):
 		status = http.StatusConflict
 	case errors.Is(err, ErrDead):
 		status = http.StatusInternalServerError
@@ -390,7 +397,7 @@ func (h *httpAPI) session(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, fmt.Errorf("choice %d out of range (-1 = none)", req.Choice))
 			return
 		}
-		st, err := h.m.Feedback(id, req.Choice)
+		st, err := h.m.FeedbackAt(id, req.Seq, req.Choice)
 		if err != nil {
 			writeErr(w, err)
 			return

@@ -29,6 +29,7 @@ import (
 	"qfe/internal/db"
 	"qfe/internal/evalcache"
 	"qfe/internal/relation"
+	"qfe/internal/wal"
 )
 
 // Errors returned by the manager. HTTP front-ends map these to status codes
@@ -40,6 +41,10 @@ var (
 	// ErrDead wraps a fatal engine error inside a session: the session is
 	// unusable and the fault is the server's, not the client's.
 	ErrDead = errors.New("service: session failed")
+	// ErrSeqAhead reports a feedback request for a round the session has not
+	// produced: the client knows more than the server, which after a crash
+	// means acknowledged state was lost (the chaos harness's detector).
+	ErrSeqAhead = errors.New("service: feedback seq ahead of session state")
 )
 
 // Options tunes a Manager. Zero values select defaults.
@@ -53,6 +58,13 @@ type Options struct {
 	Config core.Config
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
+	// Journal, when set, is the write-ahead log: every session lifecycle
+	// transition is appended (and synced per the log's policy) before it is
+	// acknowledged to the client, so Recover can rebuild sessions lost to a
+	// crash by deterministic replay (DESIGN.md §11). For replay to reproduce
+	// rounds byte-identically, Config must be deterministic — a pair-count
+	// generator budget, not a wall-clock one.
+	Journal *wal.Log
 }
 
 // Manager is a concurrent registry of winnowing sessions. All methods are
@@ -68,6 +80,14 @@ type Manager struct {
 	evicted      atomic.Uint64
 	abandoned    atomic.Uint64
 	roundsServed atomic.Uint64
+
+	// Recovery counters (see Recover): sessions restored from the snapshot,
+	// sessions rebuilt or advanced by WAL replay, WAL records applied, and
+	// the wall time the last recovery took.
+	restored        atomic.Uint64
+	replayed        atomic.Uint64
+	recordsReplayed atomic.Uint64
+	recoveryNs      atomic.Int64
 }
 
 // managed wraps one session with its serialization lock and bookkeeping.
@@ -159,6 +179,20 @@ func (m *Manager) Create(d *db.Database, r *relation.Relation, qc []*algebra.Que
 	} else {
 		m.roundsServed.Add(1)
 	}
+	// Write-ahead: the creation (with everything replay needs to rebuild
+	// the session from scratch) must be durable before the client learns
+	// the session exists. A session whose Start failed is never journaled —
+	// replay never sees it, matching the in-memory removal above.
+	if m.opts.Journal != nil {
+		recs, err := m.createdRecords(h, d, r, qc, now)
+		if err == nil {
+			err = m.opts.Journal.Append(recs...)
+		}
+		if err != nil {
+			m.remove(h.id)
+			return Status{}, fmt.Errorf("service: journal: %w", err)
+		}
+	}
 	return m.statusLocked(h), nil
 }
 
@@ -202,6 +236,17 @@ func (m *Manager) Get(id string) (Status, error) {
 // retry. A fatal stepping error kills the session and is returned to this
 // and every later caller.
 func (m *Manager) Feedback(id string, choice int) (Status, error) {
+	return m.FeedbackAt(id, 0, choice)
+}
+
+// FeedbackAt is Feedback with at-most-once semantics: seq names the round
+// the choice answers (Round.Seq). If the session has already advanced past
+// seq — a retried request whose acknowledgement was lost to a crash or a
+// dropped connection — the current status is returned without applying the
+// choice again. A seq beyond any round the session has produced returns
+// ErrSeqAhead: the client has acknowledged state the server lost. seq 0
+// skips the check (the legacy unconditional apply).
+func (m *Manager) FeedbackAt(id string, seq, choice int) (Status, error) {
 	h, err := m.lookup(id)
 	if err != nil {
 		return Status{}, err
@@ -211,17 +256,39 @@ func (m *Manager) Feedback(id string, choice int) (Status, error) {
 	if h.dead != nil {
 		return Status{}, h.dead
 	}
+	if seq > 0 {
+		switch {
+		case h.round != nil && h.round.Seq == seq:
+			// The pending round: apply below.
+		case seq <= h.sess.Seq():
+			// Already answered (possibly pre-crash, replayed from the WAL):
+			// idempotent success.
+			return m.statusLocked(h), nil
+		default:
+			return Status{}, fmt.Errorf("%w: session %s: feedback for round %d, latest round is %d",
+				ErrSeqAhead, id, seq, h.sess.Seq())
+		}
+	}
 	if h.outcome != nil {
 		return Status{}, ErrFinished
+	}
+	answered := 0
+	if h.round != nil {
+		answered = h.round.Seq
 	}
 	round, outcome, err := h.sess.Feedback(choice)
 	if err != nil {
 		if h.sess.Pending() != nil {
-			// Validation error (bad choice): round still pending, retryable.
+			// Validation error (bad choice): round still pending, retryable,
+			// and never journaled — only accepted transitions are.
 			return Status{}, err
 		}
 		h.dead = fmt.Errorf("%w: session %s: %v", ErrDead, id, err)
 		h.done.Store(true)
+		// Best-effort tombstone so recovery can skip replaying a session
+		// that is known dead. Replaying without it reproduces the same
+		// deterministic failure, so a lost append here is harmless.
+		m.journalAppend(wal.Record{Type: wal.TypeDead, ID: id, UnixNs: m.nowNs()})
 		return Status{}, h.dead
 	}
 	h.round = round
@@ -232,21 +299,52 @@ func (m *Manager) Feedback(id string, choice int) (Status, error) {
 		h.done.Store(true)
 		m.finished.Add(1)
 	}
+	// Write-ahead contract: the accepted transition is durable before it is
+	// acknowledged. A journal failure reports an error (the client must not
+	// trust the ack) while the in-memory state stays consistent; a seq-aware
+	// retry resolves either way.
+	if m.opts.Journal != nil {
+		recs := []wal.Record{{Type: wal.TypeFeedback, ID: id, Seq: answered,
+			Choice: choice, UnixNs: m.nowNs()}}
+		if h.outcome != nil {
+			recs = append(recs, wal.Record{Type: wal.TypeFinished, ID: id, UnixNs: m.nowNs()})
+		}
+		if err := m.opts.Journal.Append(recs...); err != nil {
+			return Status{}, fmt.Errorf("service: journal: %w", err)
+		}
+	}
 	return m.statusLocked(h), nil
 }
 
-// Abandon removes a session before completion (user walked away).
+// Abandon removes a session (user walked away). Only live sessions count
+// toward the abandoned statistic; deleting an already finished or dead
+// session is a plain cleanup, not an abandonment.
 func (m *Manager) Abandon(id string) error {
 	m.mu.Lock()
-	_, ok := m.sessions[id]
+	h, ok := m.sessions[id]
 	delete(m.sessions, id)
 	m.mu.Unlock()
 	if !ok {
 		return ErrNotFound
 	}
-	m.abandoned.Add(1)
+	if !h.done.Load() {
+		m.abandoned.Add(1)
+	}
+	m.journalAppend(wal.Record{Type: wal.TypeAbandoned, ID: id, UnixNs: m.nowNs()})
 	return nil
 }
+
+// journalAppend is the best-effort append for terminal bookkeeping records
+// (abandoned, dead): losing one degrades recovery to replaying a session
+// that will immediately reach the same terminal state, never to wrong data.
+func (m *Manager) journalAppend(recs ...wal.Record) {
+	if m.opts.Journal != nil {
+		_ = m.opts.Journal.Append(recs...)
+	}
+}
+
+// nowNs is the manager clock in WAL timestamp form.
+func (m *Manager) nowNs() int64 { return m.opts.Clock().UnixNano() }
 
 // remove deletes without counting it as abandoned (failed Create).
 func (m *Manager) remove(id string) {
@@ -300,6 +398,14 @@ type Stats struct {
 	SessionsAbandoned uint64 `json:"sessionsAbandoned"`
 	RoundsServed      uint64 `json:"roundsServed"`
 
+	// Recovery counters: sessions restored from the snapshot (Load),
+	// sessions rebuilt or advanced by WAL replay, WAL records applied, and
+	// the wall time of the last Recover call.
+	SessionsRestored   uint64 `json:"sessionsRestored"`
+	SessionsReplayed   uint64 `json:"sessionsReplayed"`
+	WALRecordsReplayed uint64 `json:"walRecordsReplayed"`
+	RecoveryNs         int64  `json:"recoveryNs"`
+
 	Cache evalcache.Stats `json:"cache"`
 }
 
@@ -318,14 +424,18 @@ func (m *Manager) Stats() Stats {
 	live := m.liveLocked()
 	m.mu.Unlock()
 	return Stats{
-		Resident:          resident,
-		Live:              live,
-		SessionsStarted:   m.started.Load(),
-		SessionsFinished:  m.finished.Load(),
-		SessionsEvicted:   m.evicted.Load(),
-		SessionsAbandoned: m.abandoned.Load(),
-		RoundsServed:      m.roundsServed.Load(),
-		Cache:             m.cache().Stats(),
+		Resident:           resident,
+		Live:               live,
+		SessionsStarted:    m.started.Load(),
+		SessionsFinished:   m.finished.Load(),
+		SessionsEvicted:    m.evicted.Load(),
+		SessionsAbandoned:  m.abandoned.Load(),
+		RoundsServed:       m.roundsServed.Load(),
+		SessionsRestored:   m.restored.Load(),
+		SessionsReplayed:   m.replayed.Load(),
+		WALRecordsReplayed: m.recordsReplayed.Load(),
+		RecoveryNs:         m.recoveryNs.Load(),
+		Cache:              m.cache().Stats(),
 	}
 }
 
@@ -343,10 +453,10 @@ type savedState struct {
 	Sessions []savedSession `json:"sessions"`
 }
 
-// Save serializes every resident, healthy session to w as JSON, so a
-// restarted process can Load them and resume mid-round. Sessions that fail
-// to snapshot are skipped (and counted in the returned error-free total).
-func (m *Manager) Save(w io.Writer) (int, error) {
+// collectState captures every resident, healthy session as a snapshot,
+// reporting how many healthy sessions failed to snapshot (failed > 0 makes
+// WAL truncation after a checkpoint unsafe — see Checkpoint).
+func (m *Manager) collectState() (savedState, int) {
 	type handleMeta struct {
 		h        *managed
 		lastUsed time.Time
@@ -359,6 +469,7 @@ func (m *Manager) Save(w io.Writer) (int, error) {
 	m.mu.Unlock()
 
 	state := savedState{Version: 1}
+	failed := 0
 	for _, hm := range handles {
 		h := hm.h
 		h.mu.Lock()
@@ -369,6 +480,7 @@ func (m *Manager) Save(w io.Writer) (int, error) {
 		snap, err := h.sess.Snapshot()
 		h.mu.Unlock()
 		if err != nil {
+			failed++
 			continue
 		}
 		state.Sessions = append(state.Sessions, savedSession{
@@ -378,6 +490,17 @@ func (m *Manager) Save(w io.Writer) (int, error) {
 			Snapshot: snap,
 		})
 	}
+	return state, failed
+}
+
+// Save serializes every resident, healthy session to w as JSON, so a
+// restarted process can Load them and resume mid-round. Sessions that fail
+// to snapshot are skipped (and counted in the returned error-free total).
+// Callers persisting to a file should prefer Checkpoint, which writes
+// atomically — a crash mid-Save through a truncating writer destroys the
+// previous good state.
+func (m *Manager) Save(w io.Writer) (int, error) {
+	state, _ := m.collectState()
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(state); err != nil {
 		return 0, fmt.Errorf("service: save: %w", err)
@@ -386,9 +509,12 @@ func (m *Manager) Save(w io.Writer) (int, error) {
 }
 
 // Load restores sessions previously written by Save into the manager,
-// returning how many were restored. Sessions whose snapshots no longer
-// decode are skipped and reported in errs; existing sessions with the same
-// ID are replaced.
+// returning how many were restored (surfaced as sessionsRestored in Stats).
+// Sessions whose snapshots no longer decode are skipped and reported in
+// errs; existing sessions with the same ID are replaced. The live-session
+// cap applies to restored sessions exactly as to created ones: when the
+// state file holds more live sessions than MaxSessions allows, the idlest
+// (oldest lastUsed) are evicted first and counted as evictions.
 func (m *Manager) Load(r io.Reader) (int, []error) {
 	var state savedState
 	if err := json.NewDecoder(r).Decode(&state); err != nil {
@@ -422,7 +548,41 @@ func (m *Manager) Load(r io.Reader) (int, []error) {
 		m.mu.Lock()
 		m.sessions[ss.ID] = h
 		m.mu.Unlock()
+		m.restored.Add(1)
 		n++
 	}
+	m.mu.Lock()
+	dropped := m.enforceCapLocked()
+	m.mu.Unlock()
+	if dropped > 0 {
+		errs = append(errs, fmt.Errorf(
+			"service: load: %d live session(s) beyond the %d-session cap evicted idlest-first",
+			dropped, m.opts.MaxSessions))
+	}
 	return n, errs
+}
+
+// enforceCapLocked evicts idlest-first until the live-session count fits
+// MaxSessions, returning how many were dropped; caller holds m.mu.
+func (m *Manager) enforceCapLocked() int {
+	dropped := 0
+	for m.liveLocked() > m.opts.MaxSessions {
+		victim := ""
+		var oldest time.Time
+		for id, h := range m.sessions {
+			if h.done.Load() {
+				continue
+			}
+			if victim == "" || h.lastUsed.Before(oldest) {
+				victim, oldest = id, h.lastUsed
+			}
+		}
+		if victim == "" {
+			break
+		}
+		delete(m.sessions, victim)
+		m.evicted.Add(1)
+		dropped++
+	}
+	return dropped
 }

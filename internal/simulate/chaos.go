@@ -1,0 +1,567 @@
+// Chaos harness: crash-recovery validation of qfe-server's WAL durability
+// path (DESIGN.md §11) from the outside. RunChaos launches a real qfe-server
+// subprocess with a WAL and drives concurrent sessions against it over HTTP
+// while a killer goroutine SIGKILLs the process at randomized moments and
+// restarts it. Clients retry through the crashes with seq-tagged feedback
+// (idempotent under lost acknowledgements) and verify two properties:
+//
+//   - zero lost acknowledged state: every session the server acknowledged
+//     survives each crash (a 404 for a created session, or a 409 seq-ahead
+//     response for an acknowledged round, is a durability violation), and
+//   - replay determinism: every session's final outcome is byte-identical
+//     to a reference run of the same corpus against an uninterrupted server.
+//
+// SIGKILL cannot tear a completed write(2) (the page cache survives the
+// process), so the harness validates logical recovery under any -wal-sync
+// policy; torn-tail and corruption handling are unit-tested in internal/wal
+// by direct file surgery.
+package simulate
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qfe/internal/codec"
+	"qfe/internal/feedback"
+	"qfe/internal/par"
+	"qfe/internal/scenario"
+	"qfe/internal/service"
+)
+
+// ChaosOptions tunes a chaos run. ServerBin and Corpus are required.
+type ChaosOptions struct {
+	// ServerBin is the path to a built qfe-server binary.
+	ServerBin string
+	// Corpus supplies the scenarios; sessions cycle through it.
+	Corpus []*scenario.Scenario
+	// Sessions is how many sessions to drive (default 50).
+	Sessions int
+	// Workers is client-side concurrency (default 8).
+	Workers int
+	// Kills is how many SIGKILL+restart cycles to inject (default 5). The
+	// killer is progress-triggered: each kill fires when a randomized
+	// number of sessions has completed, so kills land mid-run on any
+	// machine speed instead of depending on wall-clock pacing.
+	Kills int
+	// Seed randomizes kill points (and nothing else; the sessions
+	// themselves are deterministic).
+	Seed int64
+	// WorkDir holds the server's state file and WAL (default: a temp dir,
+	// removed afterwards).
+	WorkDir string
+	// MaxCandidates caps server-side candidate generation (default 16).
+	MaxCandidates int
+	// SyncPolicy is passed to -wal-sync (default "off": SIGKILL recovery
+	// does not need fsync, and the run is much faster).
+	SyncPolicy string
+	// Checkpoint is the server's -checkpoint cadence (default 500ms, so
+	// runs exercise snapshot+truncate+replay-tail recovery, not just
+	// full-log replay).
+	Checkpoint time.Duration
+	// CallTimeout bounds one HTTP attempt (default 30s); RetryFor bounds
+	// the whole retry loop around a call (default 2 minutes — it must
+	// cover a crash, a restart and a full recovery replay).
+	CallTimeout time.Duration
+	RetryFor    time.Duration
+	// Log receives harness progress lines (default os.Stderr; io.Discard
+	// silences it).
+	Log io.Writer
+}
+
+// ChaosReport is the JSON report of a chaos run (BENCH_chaos.json).
+type ChaosReport struct {
+	Sessions int   `json:"sessions"`
+	Workers  int   `json:"workers"`
+	Kills    int   `json:"kills"`
+	Restarts int   `json:"restarts"`
+	Seed     int64 `json:"seed"`
+
+	// Completed sessions reached an outcome; Lost counts durability
+	// violations (acknowledged session or round the restarted server had
+	// forgotten); Mismatched counts outcomes that differ from the
+	// uninterrupted reference run. A correct server keeps both at zero.
+	// Skipped slots failed deterministically in the reference pass (e.g. the
+	// server's candidate generation cannot reverse-engineer the scenario —
+	// a 400 on create) and are excluded from the comparison.
+	Completed  int `json:"completed"`
+	Lost       int `json:"lostAcknowledged"`
+	Mismatched int `json:"outcomeMismatches"`
+	Errors     int `json:"errors"`
+	Skipped    int `json:"skipped"`
+
+	// HTTPRetries counts client attempts that hit a down or restarting
+	// server and were retried.
+	HTTPRetries int `json:"httpRetries"`
+
+	// Recovery counters summed over restarts, from the server's /stats.
+	SessionsRestored   uint64 `json:"sessionsRestored"`
+	SessionsReplayed   uint64 `json:"sessionsReplayed"`
+	WALRecordsReplayed uint64 `json:"walRecordsReplayed"`
+	RecoveryTotalNs    int64  `json:"recoveryTotalNs"`
+	RecoveryMaxNs      int64  `json:"recoveryMaxNs"`
+
+	WallNs int64 `json:"wallNs"`
+}
+
+// chaosServer manages the qfe-server subprocess: one fixed port across
+// restarts (so clients keep one base URL), SIGKILL, restart, readiness.
+type chaosServer struct {
+	opts ChaosOptions
+	port int
+	base string
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+func (s *chaosServer) args() []string {
+	return []string{
+		"-addr", "127.0.0.1:" + strconv.Itoa(s.port),
+		"-state", filepath.Join(s.opts.WorkDir, "state.json"),
+		"-wal", filepath.Join(s.opts.WorkDir, "wal"),
+		"-wal-sync", s.opts.SyncPolicy,
+		"-checkpoint", s.opts.Checkpoint.String(),
+		"-candidates", strconv.Itoa(s.opts.MaxCandidates),
+	}
+}
+
+// start launches the server and waits for /healthz.
+func (s *chaosServer) start() error {
+	s.mu.Lock()
+	cmd := exec.Command(s.opts.ServerBin, s.args()...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("chaos: starting server: %w", err)
+	}
+	s.cmd = cmd
+	s.mu.Unlock()
+
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(s.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	s.kill()
+	return errors.New("chaos: server did not become healthy within 60s")
+}
+
+// kill SIGKILLs the server and reaps it.
+func (s *chaosServer) kill() {
+	s.mu.Lock()
+	cmd := s.cmd
+	s.cmd = nil
+	s.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+}
+
+// stats fetches the server's /stats counters.
+func (s *chaosServer) stats() (service.Stats, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(s.base + "/stats")
+	if err != nil {
+		return service.Stats{}, err
+	}
+	defer resp.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.Stats{}, err
+	}
+	return st, nil
+}
+
+// freePort reserves a port by binding and releasing it. Go listeners set
+// SO_REUSEADDR, so the restarted server can rebind it immediately.
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	return port, ln.Close()
+}
+
+// chaosClient is the retrying, seq-aware HTTP client the session drivers
+// share. Transport errors (connection refused/reset while the server is
+// down or restarting) retry with backoff; any HTTP response is
+// authoritative — the server was alive to produce it.
+type chaosClient struct {
+	base     string
+	client   *http.Client
+	retryFor time.Duration
+	retries  atomic.Int64
+}
+
+// errLost marks a durability violation detected by the protocol: the
+// restarted server does not know a session or round it acknowledged.
+var errLost = errors.New("chaos: acknowledged state lost")
+
+func (c *chaosClient) do(method, path string, body any) (*service.SessionJSON, error) {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(c.retryFor)
+	backoff := 25 * time.Millisecond
+	for {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("chaos: %s %s: retries exhausted: %w", method, path, err)
+			}
+			c.retries.Add(1)
+			time.Sleep(backoff)
+			if backoff < 400*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			// Connection died mid-response (a kill landed between headers
+			// and body): indistinguishable from a lost request — retry.
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("chaos: %s %s: retries exhausted: %w", method, path, rerr)
+			}
+			c.retries.Add(1)
+			time.Sleep(backoff)
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			_ = json.Unmarshal(data, &apiErr)
+			switch resp.StatusCode {
+			case http.StatusNotFound:
+				return nil, fmt.Errorf("%w: %s %s: 404 %s", errLost, method, path, apiErr.Error)
+			case http.StatusConflict:
+				// ErrSeqAhead is the lost-acknowledged-round detector;
+				// ErrFinished cannot reach a seq-tagged client (that path
+				// returns the idempotent status instead).
+				return nil, fmt.Errorf("%w: %s %s: 409 %s", errLost, method, path, apiErr.Error)
+			default:
+				return nil, fmt.Errorf("chaos: %s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
+			}
+		}
+		if method == http.MethodDelete {
+			return nil, nil
+		}
+		var st service.SessionJSON
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, fmt.Errorf("chaos: decoding %s response: %w", path, err)
+		}
+		return &st, nil
+	}
+}
+
+// driveSession runs one scenario to its outcome through the retrying
+// client, answering rounds with target-policy feedback. It returns the
+// final outcome (for comparison against the reference run).
+func driveSession(c *chaosClient, sc *scenario.Scenario, maxCand int) (*service.OutcomeJSON, error) {
+	req := service.CreateRequest{MaxCandidates: maxCand}
+	cd := codec.EncodeDatabase(sc.DB)
+	req.Tables = cd.Tables
+	req.PrimaryKeys = cd.PrimaryKeys
+	req.ForeignKeys = cd.ForeignKeys
+	req.Result = ptr(codec.EncodeRelation(sc.R))
+
+	oracle := feedback.Target{Query: sc.Target}
+	st, err := c.do(http.MethodPost, "/sessions", req)
+	if err != nil {
+		return nil, err
+	}
+	for !st.Done {
+		if st.Round == nil {
+			return nil, errors.New("chaos: server returned neither round nor outcome")
+		}
+		choice, err := chooseRound(sc, oracle, st.Round)
+		if err != nil {
+			return nil, err
+		}
+		st, err = c.do(http.MethodPost, "/sessions/"+st.ID+"/feedback",
+			service.FeedbackRequest{Choice: choice, Seq: st.Round.Seq})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.Outcome == nil {
+		return nil, errors.New("chaos: finished session without outcome")
+	}
+	return st.Outcome, nil
+}
+
+// RunChaos executes the full harness: a reference pass against an
+// uninterrupted server, then the chaos pass with SIGKILL injection, then
+// the comparison. It returns the report; the caller decides what counts as
+// failure (the CLI gates on Lost > 0 or Mismatched > 0).
+func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
+	if opts.ServerBin == "" {
+		return nil, errors.New("chaos: ServerBin is required")
+	}
+	if len(opts.Corpus) == 0 {
+		return nil, errors.New("chaos: empty corpus")
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 50
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Kills < 0 {
+		opts.Kills = 0
+	} else if opts.Kills == 0 {
+		opts.Kills = 5
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 16
+	}
+	if opts.SyncPolicy == "" {
+		opts.SyncPolicy = "off"
+	}
+	if opts.Checkpoint <= 0 {
+		opts.Checkpoint = 500 * time.Millisecond
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 30 * time.Second
+	}
+	if opts.RetryFor <= 0 {
+		opts.RetryFor = 2 * time.Minute
+	}
+	if opts.Log == nil {
+		opts.Log = os.Stderr
+	}
+	if opts.WorkDir == "" {
+		dir, err := os.MkdirTemp("", "qfe-chaos-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		opts.WorkDir = dir
+	}
+
+	t0 := time.Now()
+
+	// Reference pass: same corpus, same server binary and flags, no kills.
+	// Replay determinism is then "chaos outcomes == reference outcomes".
+	fmt.Fprintf(opts.Log, "chaos: reference pass: %d sessions, %d workers\n", opts.Sessions, opts.Workers)
+	refOut, _, err := runPass(opts, filepath.Join(opts.WorkDir, "ref"), nil)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reference pass: %w", err)
+	}
+	// A reference failure is deterministic (no kills happen in that pass):
+	// the server cannot serve this scenario at all — most often create
+	// returns 400 because server-side candidate generation found no SPJ
+	// query. Such slots are excluded from the chaos comparison.
+	skip := make([]bool, len(refOut))
+	for i, o := range refOut {
+		if o.err != nil {
+			skip[i] = true
+			fmt.Fprintf(opts.Log, "chaos: session %d: skipped (reference: %v)\n", i, o.err)
+		}
+	}
+
+	// Chaos pass.
+	fmt.Fprintf(opts.Log, "chaos: kill pass: %d progress-triggered kill(s)\n", opts.Kills)
+	rep := &ChaosReport{
+		Sessions: opts.Sessions,
+		Workers:  opts.Workers,
+		Kills:    opts.Kills,
+		Seed:     opts.Seed,
+	}
+	chaosOut, kstats, err := runPass(opts, filepath.Join(opts.WorkDir, "chaos"), rep)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: kill pass: %w", err)
+	}
+
+	rep.Restarts = kstats.restarts
+	rep.HTTPRetries = int(kstats.retries)
+	rep.SessionsRestored = kstats.restored
+	rep.SessionsReplayed = kstats.replayed
+	rep.WALRecordsReplayed = kstats.records
+	rep.RecoveryTotalNs = kstats.recoveryTotal
+	rep.RecoveryMaxNs = kstats.recoveryMax
+
+	for i := range chaosOut {
+		co := chaosOut[i]
+		switch {
+		case skip[i]:
+			rep.Skipped++
+		case co.err != nil && errors.Is(co.err, errLost):
+			rep.Lost++
+			fmt.Fprintf(opts.Log, "chaos: session %d: LOST: %v\n", i, co.err)
+		case co.err != nil:
+			rep.Errors++
+			fmt.Fprintf(opts.Log, "chaos: session %d: error: %v\n", i, co.err)
+		default:
+			rep.Completed++
+			want, _ := json.Marshal(refOut[i].outcome)
+			got, _ := json.Marshal(co.outcome)
+			if string(want) != string(got) {
+				rep.Mismatched++
+				fmt.Fprintf(opts.Log, "chaos: session %d: outcome mismatch:\n  ref:   %s\n  chaos: %s\n", i, want, got)
+			}
+		}
+	}
+	rep.WallNs = int64(time.Since(t0))
+	return rep, nil
+}
+
+// sessionOutcome is one driven session's result in a pass.
+type sessionOutcome struct {
+	outcome *service.OutcomeJSON
+	err     error
+}
+
+// killerStats aggregates what the killer goroutine observed.
+type killerStats struct {
+	restarts      int
+	retries       int64
+	restored      uint64
+	replayed      uint64
+	records       uint64
+	recoveryTotal int64
+	recoveryMax   int64
+}
+
+// runPass drives opts.Sessions sessions against one server instance. With
+// rep non-nil this is the chaos pass: a killer goroutine SIGKILLs and
+// restarts the server at seeded random intervals until the kill budget or
+// the sessions run out.
+func runPass(opts ChaosOptions, workDir string, rep *ChaosReport) ([]sessionOutcome, killerStats, error) {
+	var ks killerStats
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return nil, ks, err
+	}
+	port, err := freePort()
+	if err != nil {
+		return nil, ks, err
+	}
+	passOpts := opts
+	passOpts.WorkDir = workDir
+	srv := &chaosServer{opts: passOpts, port: port, base: "http://127.0.0.1:" + strconv.Itoa(port)}
+	if err := srv.start(); err != nil {
+		return nil, ks, err
+	}
+	defer srv.kill()
+
+	client := &chaosClient{
+		base:     srv.base,
+		client:   &http.Client{Timeout: opts.CallTimeout},
+		retryFor: opts.RetryFor,
+	}
+
+	done := make(chan struct{})
+	var completed atomic.Int64
+	var killerWG sync.WaitGroup
+	if rep != nil && opts.Kills > 0 {
+		// Progress-triggered kill points: each kill fires once a randomized
+		// number of sessions (within the first ~85% of the run) has
+		// completed, plus a small random delay so the SIGKILL lands at an
+		// arbitrary instruction — mid-round, mid-journal-append,
+		// mid-checkpoint — rather than on a session boundary.
+		rng := rand.New(rand.NewSource(opts.Seed))
+		points := make([]int, opts.Kills)
+		for k := range points {
+			points[k] = rng.Intn(opts.Sessions*17/20 + 1)
+		}
+		sortInts(points)
+		killerWG.Add(1)
+		go func() {
+			defer killerWG.Done()
+			for k, point := range points {
+				for completed.Load() < int64(point) {
+					select {
+					case <-done:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+				}
+				jitter := time.Duration(rng.Int63n(int64(40 * time.Millisecond)))
+				select {
+				case <-done:
+					return
+				case <-time.After(jitter):
+				}
+				srv.kill()
+				fmt.Fprintf(opts.Log, "chaos: kill %d/%d (at %d completed sessions, +%s), restarting\n",
+					k+1, opts.Kills, completed.Load(), jitter)
+				if err := srv.start(); err != nil {
+					fmt.Fprintf(opts.Log, "chaos: restart failed: %v\n", err)
+					return
+				}
+				ks.restarts++
+				if st, err := srv.stats(); err == nil {
+					ks.restored += st.SessionsRestored
+					ks.replayed += st.SessionsReplayed
+					ks.records += st.WALRecordsReplayed
+					ks.recoveryTotal += st.RecoveryNs
+					if st.RecoveryNs > ks.recoveryMax {
+						ks.recoveryMax = st.RecoveryNs
+					}
+				}
+			}
+		}()
+	}
+
+	out := make([]sessionOutcome, opts.Sessions)
+	par.Do(opts.Sessions, opts.Workers, func(i int) {
+		sc := opts.Corpus[i%len(opts.Corpus)]
+		o, err := driveSession(client, sc, opts.MaxCandidates)
+		out[i] = sessionOutcome{outcome: o, err: err}
+		completed.Add(1)
+	})
+	close(done)
+	killerWG.Wait()
+	ks.retries = client.retries.Load()
+	return out, ks, nil
+}
+
+// sortInts is a tiny insertion sort (kill counts are single digits).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -100,6 +100,14 @@ func (r *Runner) runHTTP(sc *scenario.Scenario, idx int, res *SessionResult) {
 // decodes the presented results, and applies the policy client-side.
 func (r *Runner) chooseHTTP(sc *scenario.Scenario, oracle feedback.Oracle,
 	round *service.RoundJSON) (int, error) {
+	return chooseRound(sc, oracle, round)
+}
+
+// chooseRound is the wire-round answering logic shared by the load runner
+// and the chaos harness: rebuild D' from the round's edits, decode the
+// presented results, and apply the policy client-side.
+func chooseRound(sc *scenario.Scenario, oracle feedback.Oracle,
+	round *service.RoundJSON) (int, error) {
 	edits, err := codec.DecodeEdits(round.Edits)
 	if err != nil {
 		return 0, fmt.Errorf("simulate: round edits: %w", err)
