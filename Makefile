@@ -6,7 +6,7 @@ GO ?= go
 # Restrict with e.g. `make bench BENCH=BenchmarkMicro` for a faster run.
 BENCH ?= .
 
-.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke chaos chaos-smoke
+.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke chaos chaos-smoke cluster cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,30 @@ chaos:
 	$(GO) run ./cmd/qfe-sim chaos -corpus corpus_chaos.jsonl \
 		-server-bin /tmp/qfe-server -sessions 80 -workers 8 -kills 6 -seed 1 \
 		-report BENCH_chaos.json
+
+# Cluster failover gate (CI): 3 qfe-server workers behind qfe-router; one
+# worker is SIGKILLed mid-run and never restarted — the router must fence
+# it, hand its WAL estate to the survivors, and reassign its hash range
+# with zero lost acknowledged sessions and outcomes identical to a
+# single-node reference pass (DESIGN.md §12).
+cluster-smoke:
+	$(GO) build -o /tmp/qfe-server ./cmd/qfe-server
+	$(GO) build -o /tmp/qfe-router ./cmd/qfe-router
+	$(GO) run ./cmd/qfe-sim generate -n 12 -seed 7 -out /tmp/qfe-cluster-smoke.jsonl
+	$(GO) run ./cmd/qfe-sim chaos -corpus /tmp/qfe-cluster-smoke.jsonl \
+		-server-bin /tmp/qfe-server -router-bin /tmp/qfe-router \
+		-cluster 3 -sessions 24 -workers 4 -kills 1 -seed 7 \
+		-report /tmp/qfe-cluster-smoke-report.json
+
+# Full cluster chaos run recorded as BENCH_cluster.json (EXPERIMENTS.md):
+# router + 3 workers, 2 of the 3 SIGKILLed at progress-randomized points —
+# the second death exercises chained failover (the estate list, including
+# the first victim's, is re-adopted by the last survivor).
+cluster:
+	$(GO) build -o /tmp/qfe-server ./cmd/qfe-server
+	$(GO) build -o /tmp/qfe-router ./cmd/qfe-router
+	$(GO) run ./cmd/qfe-sim generate -n 20 -seed 1 -out corpus_chaos.jsonl
+	$(GO) run ./cmd/qfe-sim chaos -corpus corpus_chaos.jsonl \
+		-server-bin /tmp/qfe-server -router-bin /tmp/qfe-router \
+		-cluster 3 -sessions 80 -workers 8 -kills 2 -seed 1 \
+		-report BENCH_cluster.json

@@ -1,0 +1,143 @@
+// Command qfe-router fronts a cluster of qfe-server workers (DESIGN.md
+// §12): it places sessions on workers with a consistent-hash ring, probes
+// worker health, proxies the session API with retry-safe backoff, sheds
+// load at per-worker in-flight caps, and when a worker is declared dead
+// hands its durable estate (snapshot + WAL) to the survivors before
+// reassigning its hash range — acknowledged state outlives any one node.
+//
+// Each worker is declared with a repeatable -worker flag:
+//
+//	qfe-router -addr :8000 \
+//	  -worker id=w0,url=http://127.0.0.1:9000,state=n0/state.json,wal=n0/wal \
+//	  -worker id=w1,url=http://127.0.0.1:9001,state=n1/state.json,wal=n1/wal \
+//	  -worker id=w2,url=http://127.0.0.1:9002,state=n2/state.json,wal=n2/wal
+//
+// Workers must run with -admin (to accept estate handoffs) and with the
+// -state/-wal paths the router was told, on storage every worker can reach.
+// Clients speak the ordinary qfe-server API to the router; sessions are
+// named by the router so placement needs no shared table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"qfe/internal/cluster"
+)
+
+// workerFlags collects repeated -worker definitions.
+type workerFlags []cluster.Worker
+
+func (w *workerFlags) String() string { return fmt.Sprintf("%d worker(s)", len(*w)) }
+
+// Set parses "id=w0,url=http://...,state=PATH,wal=DIR".
+func (w *workerFlags) Set(s string) error {
+	var wk cluster.Worker
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("worker field %q: want key=value", kv)
+		}
+		switch k {
+		case "id":
+			wk.ID = v
+		case "url":
+			wk.URL = v
+		case "state":
+			wk.StatePath = v
+		case "wal":
+			wk.WALDir = v
+		default:
+			return fmt.Errorf("worker field %q: unknown key (want id, url, state, wal)", k)
+		}
+	}
+	if wk.ID == "" || wk.URL == "" {
+		return fmt.Errorf("worker %q needs at least id= and url=", s)
+	}
+	*w = append(*w, wk)
+	return nil
+}
+
+func main() {
+	var workers workerFlags
+	var (
+		addr          = flag.String("addr", ":8000", "listen address (port 0 picks a free port, printed on start)")
+		vnodes        = flag.Int("vnodes", 128, "virtual nodes per worker on the hash ring")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "health probe cadence")
+		deadAfter     = flag.Int("dead-after", 3, "consecutive failed probes before a worker is declared dead")
+		recoverAfter  = flag.Int("recover-after", 2, "consecutive successful probes before a suspect worker is trusted again")
+		maxInflight   = flag.Int64("max-inflight", 64, "per-worker concurrent request cap (503 + Retry-After beyond)")
+		retryBudget   = flag.Duration("retry-budget", 30*time.Second, "total retry time per proxied request (must cover failover)")
+		callTimeout   = flag.Duration("call-timeout", 2*time.Minute, "per-attempt upstream timeout")
+	)
+	flag.Var(&workers, "worker", "worker definition id=ID,url=URL[,state=PATH,wal=DIR] (repeatable)")
+	flag.Parse()
+
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "qfe-router: at least one -worker is required")
+		os.Exit(1)
+	}
+
+	logger := log.New(os.Stdout, "qfe-router: ", log.LstdFlags|log.Lmsgprefix)
+	rt, err := cluster.NewRouter(cluster.Options{
+		Workers:       workers,
+		VirtualNodes:  *vnodes,
+		ProbeInterval: *probeInterval,
+		DeadAfter:     *deadAfter,
+		RecoverAfter:  *recoverAfter,
+		MaxInflight:   *maxInflight,
+		RetryBudget:   *retryBudget,
+		CallTimeout:   *callTimeout,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfe-router:", err)
+		os.Exit(1)
+	}
+	rt.Start()
+
+	srv := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Write timeout must cover a full retry budget plus one slow attempt.
+		WriteTimeout: *retryBudget + *callTimeout,
+		IdleTimeout:  2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfe-router:", err)
+		os.Exit(1)
+	}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "qfe-router: shutdown:", err)
+		}
+		cancel()
+		rt.Stop()
+		close(done)
+	}()
+
+	// Bound address printed for harnesses that listen on port 0.
+	fmt.Printf("qfe-router: listening on %s (%d worker(s), probe %s, dead after %d)\n",
+		ln.Addr(), len(workers), *probeInterval, *deadAfter)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "qfe-router:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -54,6 +54,12 @@ func main() {
 		statePath   = flag.String("state", "", "snapshot file: restore on start, checkpoint on shutdown (atomic replace)")
 		parallelism = flag.Int("parallelism", 0, "worker count per session (0 = all cores)")
 
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "max time to read one request (hardening against slow clients)")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "max time to serve one request; must cover a slow round generation")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle limit")
+		maxBody      = flag.Int64("max-body", 64<<20, "request body size cap in bytes (413 beyond)")
+		admin        = flag.Bool("admin", false, "expose POST /admin/adopt (cluster failover handoff; enable only behind a router)")
+
 		walDir       = flag.String("wal", "", "write-ahead log directory: journal every transition before acknowledging it")
 		walSync      = flag.String("wal-sync", "always", "WAL sync policy: always (fsync per record), interval, off")
 		walSyncEvery = flag.Duration("wal-sync-interval", 50*time.Millisecond, "fsync cadence for -wal-sync=interval")
@@ -169,8 +175,16 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Handler:           service.NewHandler(m, service.HandlerOptions{MaxCandidates: *maxCand}),
+		Handler: service.NewHandler(m, service.HandlerOptions{
+			MaxCandidates: *maxCand,
+			MaxBodyBytes:  *maxBody,
+			EnableAdmin:   *admin,
+			StatePath:     *statePath,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -74,7 +74,8 @@ func usage() {
           [-require-converge RATE] [-allow-violations]
   qfe-sim chaos -corpus FILE -server-bin PATH [-sessions N] [-workers N]
           [-kills N] [-seed S] [-wal-sync POLICY] [-checkpoint D]
-          [-max-candidates N] [-report FILE] [-quiet]`)
+          [-max-candidates N] [-report FILE] [-quiet]
+          [-cluster N -router-bin PATH]`)
 }
 
 // rangeFlag parses "min:max" (or a single value) into a MinMax.
@@ -259,28 +260,44 @@ func runRun(args []string) error {
 	return nil
 }
 
-// runChaos drives the crash-recovery harness: a qfe-server subprocess with
-// a WAL is SIGKILLed and restarted under load; the run fails when any
-// acknowledged session is lost or any outcome differs from an uninterrupted
-// reference run. Doc comment at internal/simulate/chaos.go.
+// runChaos drives the crash-recovery harness. Single-node mode (default):
+// a qfe-server subprocess with a WAL is SIGKILLed and restarted under load.
+// Cluster mode (-cluster N with -router-bin): N workers behind a qfe-router
+// are driven while random workers are SIGKILLed for good — the router must
+// fail over their sessions to the survivors. Either way the run fails when
+// any acknowledged session is lost or any outcome differs from an
+// uninterrupted single-node reference run. Doc comments at
+// internal/simulate/chaos.go and internal/simulate/cluster.go.
 func runChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	corpusPath := fs.String("corpus", "corpus.jsonl", "corpus file to drive sessions from")
 	serverBin := fs.String("server-bin", "", "path to a built qfe-server binary (required)")
 	sessions := fs.Int("sessions", 50, "sessions to drive (cycling the corpus)")
 	workers := fs.Int("workers", 8, "concurrent client sessions")
-	kills := fs.Int("kills", 5, "SIGKILL+restart cycles to inject (progress-triggered)")
+	kills := fs.Int("kills", 5, "SIGKILL cycles to inject (progress-triggered; restart+recover in single-node mode, permanent death in cluster mode)")
 	seed := fs.Int64("seed", 1, "kill-point seed")
 	walSync := fs.String("wal-sync", "off", "server -wal-sync policy (always, interval, off)")
 	checkpoint := fs.Duration("checkpoint", 500*time.Millisecond, "server -checkpoint cadence")
 	maxCand := fs.Int("max-candidates", 16, "candidate-set size cap per session")
-	reportPath := fs.String("report", "BENCH_chaos.json", "JSON report output file")
+	cluster := fs.Int("cluster", 0, "run against an N-worker cluster behind qfe-router (0 = single node)")
+	routerBin := fs.String("router-bin", "", "path to a built qfe-router binary (required with -cluster)")
+	reportPath := fs.String("report", "", "JSON report output file (default BENCH_chaos.json, or BENCH_cluster.json with -cluster)")
 	quiet := fs.Bool("quiet", false, "suppress per-kill progress lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *serverBin == "" {
 		return fmt.Errorf("chaos: -server-bin is required")
+	}
+	if *cluster > 0 && *routerBin == "" {
+		return fmt.Errorf("chaos: -cluster needs -router-bin")
+	}
+	if *reportPath == "" {
+		if *cluster > 0 {
+			*reportPath = "BENCH_cluster.json"
+		} else {
+			*reportPath = "BENCH_chaos.json"
+		}
 	}
 
 	f, err := os.Open(*corpusPath)
@@ -313,7 +330,7 @@ func runChaos(args []string) error {
 	if *quiet {
 		log = io.Discard
 	}
-	rep, err := simulate.RunChaos(simulate.ChaosOptions{
+	chaosOpts := simulate.ChaosOptions{
 		ServerBin:     *serverBin,
 		Corpus:        corpus,
 		Sessions:      *sessions,
@@ -324,7 +341,15 @@ func runChaos(args []string) error {
 		Checkpoint:    *checkpoint,
 		MaxCandidates: *maxCand,
 		Log:           log,
-	})
+	}
+	if *cluster > 0 {
+		return runClusterChaos(simulate.ClusterChaosOptions{
+			ChaosOptions: chaosOpts,
+			RouterBin:    *routerBin,
+			Nodes:        *cluster,
+		}, *reportPath)
+	}
+	rep, err := simulate.RunChaos(chaosOpts)
 	if err != nil {
 		return err
 	}
@@ -357,6 +382,51 @@ func runChaos(args []string) error {
 	}
 	if rep.Mismatched > 0 {
 		return fmt.Errorf("%d session outcome(s) differ from the uninterrupted reference run", rep.Mismatched)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d session(s) failed", rep.Errors)
+	}
+	return nil
+}
+
+// runClusterChaos executes the cluster-mode harness and gates on its
+// report: zero lost acknowledged sessions, zero outcome mismatches, zero
+// errors — with real worker deaths in between.
+func runClusterChaos(opts simulate.ClusterChaosOptions, reportPath string) error {
+	rep, err := simulate.RunClusterChaos(opts)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(reportPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("%d sessions, %d client workers, %d-node cluster, %d/%d worker kill(s) landed -> %d failover(s)\n",
+		rep.Sessions, rep.Workers, rep.Nodes, rep.KillsLanded, rep.Kills, rep.Failovers)
+	fmt.Printf("completed %d, lost %d, mismatched %d, errors %d, skipped %d\n",
+		rep.Completed, rep.Lost, rep.Mismatched, rep.Errors, rep.Skipped)
+	fmt.Printf("client retries %d; router retries %d, shed %d; adoptions %d (%d failed)\n",
+		rep.HTTPRetries, rep.RouterRetries, rep.Shed, rep.AdoptCalls, rep.AdoptErrors)
+	fmt.Printf("report written to %s\n", reportPath)
+
+	if rep.KillsLanded < rep.Kills {
+		return fmt.Errorf("only %d of %d worker kill(s) landed mid-run — the gate did not exercise failover", rep.KillsLanded, rep.Kills)
+	}
+	if rep.Lost > 0 {
+		return fmt.Errorf("%d acknowledged session(s) lost to a worker death", rep.Lost)
+	}
+	if rep.Mismatched > 0 {
+		return fmt.Errorf("%d session outcome(s) differ from the single-node reference run", rep.Mismatched)
 	}
 	if rep.Errors > 0 {
 		return fmt.Errorf("%d session(s) failed", rep.Errors)

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// NodeState is a monitored worker's availability as the failure detector
+// sees it.
+type NodeState int
+
+// Node states. Transitions: Healthy -> Suspect on the first failed probe;
+// Suspect -> Healthy after RecoverAfter consecutive successes (hysteresis:
+// one lucky probe does not clear suspicion, so a flapping worker cannot
+// oscillate the router); Suspect -> Dead after DeadAfter consecutive
+// failures. Dead is terminal — a dead worker's estate is handed off and its
+// identity is fenced; a revived process rejoins as a new node rather than
+// resurrecting (re-routing sessions back to a node whose durable state was
+// adopted elsewhere would serve stale rounds).
+const (
+	StateHealthy NodeState = iota
+	StateSuspect
+	StateDead
+)
+
+// String names the state for logs and stats payloads.
+func (s NodeState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// ProbeFunc checks one node, returning nil when it is serving. The monitor
+// calls probes concurrently across nodes; a probe must apply its own
+// timeout.
+type ProbeFunc func(node string) error
+
+// MonitorOptions tunes the failure detector. Zero values select defaults.
+type MonitorOptions struct {
+	// Interval between probe rounds (default 500ms).
+	Interval time.Duration
+	// DeadAfter is the consecutive-failure threshold that declares a node
+	// dead (default 3). With Interval, it sets the detection latency floor:
+	// a worker is declared dead after roughly DeadAfter * Interval.
+	DeadAfter int
+	// RecoverAfter is the consecutive-success count a suspect node needs to
+	// be trusted again (default 2) — the recovery hysteresis.
+	RecoverAfter int
+}
+
+func (o MonitorOptions) withDefaults() MonitorOptions {
+	if o.Interval <= 0 {
+		o.Interval = 500 * time.Millisecond
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 3
+	}
+	if o.RecoverAfter <= 0 {
+		o.RecoverAfter = 2
+	}
+	return o
+}
+
+// Monitor is the cluster's failure detector: it probes watched nodes every
+// Interval and reports confirmed deaths exactly once via the onDead
+// callback. All methods are safe for concurrent use. The probe loop runs
+// only between Start and Stop; tests drive Tick directly instead.
+type Monitor struct {
+	opts   MonitorOptions
+	probe  ProbeFunc
+	onDead func(node string)
+
+	mu    sync.Mutex
+	nodes map[string]*nodeHealth
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// nodeHealth is one node's detector state.
+type nodeHealth struct {
+	state   NodeState
+	fails   int // consecutive failed probes
+	oks     int // consecutive successful probes while suspect
+	lastErr error
+}
+
+// NewMonitor creates a detector over probe; onDead fires once per node,
+// from the probing goroutine (or the Tick caller), after DeadAfter
+// consecutive failures.
+func NewMonitor(probe ProbeFunc, onDead func(node string), opts MonitorOptions) *Monitor {
+	return &Monitor{
+		opts:   opts.withDefaults(),
+		probe:  probe,
+		onDead: onDead,
+		nodes:  make(map[string]*nodeHealth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Watch adds a node in the Healthy (optimistic) state.
+func (m *Monitor) Watch(node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[node]; !ok {
+		m.nodes[node] = &nodeHealth{state: StateHealthy}
+	}
+}
+
+// State returns a node's current state (StateDead for unknown nodes: an
+// unwatched node must not receive traffic).
+func (m *Monitor) State(node string) NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if nh, ok := m.nodes[node]; ok {
+		return nh.state
+	}
+	return StateDead
+}
+
+// LastErr returns the most recent probe error for a node (nil if healthy
+// or unknown).
+func (m *Monitor) LastErr(node string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if nh, ok := m.nodes[node]; ok {
+		return nh.lastErr
+	}
+	return nil
+}
+
+// Tick runs one probe round: every watched, not-yet-dead node is probed
+// concurrently and its counters advance. Confirmed deaths fire onDead
+// (outside the monitor lock) before Tick returns. The Start loop calls
+// this on a timer; tests call it directly for sleep-free determinism.
+func (m *Monitor) Tick() {
+	m.mu.Lock()
+	targets := make([]string, 0, len(m.nodes))
+	for node, nh := range m.nodes {
+		if nh.state != StateDead {
+			targets = append(targets, node)
+		}
+	}
+	m.mu.Unlock()
+
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, node := range targets {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			errs[i] = m.probe(node)
+		}(i, node)
+	}
+	wg.Wait()
+
+	var died []string
+	m.mu.Lock()
+	for i, node := range targets {
+		nh, ok := m.nodes[node]
+		if !ok || nh.state == StateDead {
+			continue
+		}
+		if errs[i] != nil {
+			nh.lastErr = errs[i]
+			nh.oks = 0
+			nh.fails++
+			if nh.fails >= m.opts.DeadAfter {
+				nh.state = StateDead
+				died = append(died, node)
+			} else {
+				nh.state = StateSuspect
+			}
+			continue
+		}
+		nh.fails = 0
+		switch nh.state {
+		case StateSuspect:
+			nh.oks++
+			if nh.oks >= m.opts.RecoverAfter {
+				nh.state = StateHealthy
+				nh.lastErr = nil
+				nh.oks = 0
+			}
+		case StateHealthy:
+			nh.lastErr = nil
+		}
+	}
+	m.mu.Unlock()
+
+	if m.onDead != nil {
+		for _, node := range died {
+			m.onDead(node)
+		}
+	}
+}
+
+// Start launches the periodic probe loop.
+func (m *Monitor) Start() {
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}

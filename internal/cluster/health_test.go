@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// scriptedProbe returns per-node scripted results, one per Tick, repeating
+// the last entry once the script runs out.
+type scriptedProbe struct {
+	mu     sync.Mutex
+	script map[string][]error
+	calls  map[string]int
+}
+
+func newScriptedProbe() *scriptedProbe {
+	return &scriptedProbe{script: map[string][]error{}, calls: map[string]int{}}
+}
+
+func (p *scriptedProbe) set(node string, results ...error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.script[node] = results
+	p.calls[node] = 0
+}
+
+func (p *scriptedProbe) probe(node string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.script[node]
+	i := p.calls[node]
+	p.calls[node]++
+	if len(s) == 0 {
+		return nil
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func (p *scriptedProbe) callCount(node string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls[node]
+}
+
+var errDown = errors.New("connection refused")
+
+func TestMonitorDeclaresDeadAfterThreshold(t *testing.T) {
+	p := newScriptedProbe()
+	p.set("w0", errDown) // fails forever
+	p.set("w1")          // healthy forever
+
+	var mu sync.Mutex
+	var deaths []string
+	m := NewMonitor(p.probe, func(n string) {
+		mu.Lock()
+		deaths = append(deaths, n)
+		mu.Unlock()
+	}, MonitorOptions{DeadAfter: 3, RecoverAfter: 2})
+	m.Watch("w0")
+	m.Watch("w1")
+
+	m.Tick()
+	if got := m.State("w0"); got != StateSuspect {
+		t.Fatalf("after 1 failure: state %v, want suspect", got)
+	}
+	m.Tick()
+	if got := m.State("w0"); got != StateSuspect {
+		t.Fatalf("after 2 failures: state %v, want suspect", got)
+	}
+	if len(deaths) != 0 {
+		t.Fatalf("onDead fired before threshold: %v", deaths)
+	}
+	m.Tick()
+	if got := m.State("w0"); got != StateDead {
+		t.Fatalf("after 3 failures: state %v, want dead", got)
+	}
+	if got := m.State("w1"); got != StateHealthy {
+		t.Fatalf("healthy node w1 state %v, want healthy", got)
+	}
+	if len(deaths) != 1 || deaths[0] != "w0" {
+		t.Fatalf("deaths = %v, want [w0]", deaths)
+	}
+	if m.LastErr("w0") == nil {
+		t.Fatal("LastErr(w0) = nil, want the probe error")
+	}
+
+	// Dead is terminal: further ticks neither probe the corpse nor re-fire
+	// onDead.
+	before := p.callCount("w0")
+	m.Tick()
+	m.Tick()
+	if got := p.callCount("w0"); got != before {
+		t.Fatalf("dead node probed again: %d calls, want %d", got, before)
+	}
+	if len(deaths) != 1 {
+		t.Fatalf("onDead fired %d times, want exactly once", len(deaths))
+	}
+	if got := m.State("w0"); got != StateDead {
+		t.Fatalf("dead node state %v, want dead (terminal)", got)
+	}
+}
+
+// TestMonitorRecoveryHysteresis: a suspect node needs RecoverAfter
+// consecutive successes to be trusted again, and an interleaved failure
+// resets the success streak.
+func TestMonitorRecoveryHysteresis(t *testing.T) {
+	p := newScriptedProbe()
+	// fail, ok, fail, ok, ok -> healthy only at the 5th tick.
+	p.set("w0", errDown, nil, errDown, nil, nil)
+
+	m := NewMonitor(p.probe, nil, MonitorOptions{DeadAfter: 3, RecoverAfter: 2})
+	m.Watch("w0")
+
+	m.Tick() // fail -> suspect
+	if got := m.State("w0"); got != StateSuspect {
+		t.Fatalf("tick 1: %v, want suspect", got)
+	}
+	m.Tick() // ok (1 of 2) -> still suspect
+	if got := m.State("w0"); got != StateSuspect {
+		t.Fatalf("tick 2: %v, want suspect (hysteresis)", got)
+	}
+	m.Tick() // fail -> success streak reset
+	if got := m.State("w0"); got != StateSuspect {
+		t.Fatalf("tick 3: %v, want suspect", got)
+	}
+	m.Tick() // ok (1 of 2)
+	if got := m.State("w0"); got != StateSuspect {
+		t.Fatalf("tick 4: %v, want suspect (streak restarted)", got)
+	}
+	m.Tick() // ok (2 of 2) -> healthy
+	if got := m.State("w0"); got != StateHealthy {
+		t.Fatalf("tick 5: %v, want healthy", got)
+	}
+	if m.LastErr("w0") != nil {
+		t.Fatalf("recovered node keeps LastErr %v", m.LastErr("w0"))
+	}
+}
+
+// TestMonitorFailureStreakSurvivesOneSuccessThenDies: interleaving below
+// the recovery threshold does not save a node that keeps failing — the
+// failure counter restarts after each success, so death needs DeadAfter
+// *consecutive* failures.
+func TestMonitorConsecutiveFailuresRequired(t *testing.T) {
+	p := newScriptedProbe()
+	// fail, fail, ok, fail, fail, fail -> dead at tick 6, not tick 4.
+	p.set("w0", errDown, errDown, nil, errDown, errDown, errDown)
+
+	var deaths int
+	m := NewMonitor(p.probe, func(string) { deaths++ }, MonitorOptions{DeadAfter: 3, RecoverAfter: 2})
+	m.Watch("w0")
+
+	for i := 1; i <= 5; i++ {
+		m.Tick()
+		if got := m.State("w0"); got == StateDead {
+			t.Fatalf("tick %d: dead too early (failures not consecutive)", i)
+		}
+	}
+	m.Tick()
+	if got := m.State("w0"); got != StateDead {
+		t.Fatalf("tick 6: %v, want dead", got)
+	}
+	if deaths != 1 {
+		t.Fatalf("onDead fired %d times, want 1", deaths)
+	}
+}
+
+func TestMonitorUnknownNodeIsDead(t *testing.T) {
+	m := NewMonitor(func(string) error { return nil }, nil, MonitorOptions{})
+	if got := m.State("ghost"); got != StateDead {
+		t.Fatalf("unknown node state %v, want dead", got)
+	}
+	// Watch is idempotent and optimistic.
+	m.Watch("w0")
+	m.Watch("w0")
+	if got := m.State("w0"); got != StateHealthy {
+		t.Fatalf("fresh node state %v, want healthy", got)
+	}
+}
+
+func TestNodeStateString(t *testing.T) {
+	for s, want := range map[NodeState]string{
+		StateHealthy:  "healthy",
+		StateSuspect:  "suspect",
+		StateDead:     "dead",
+		NodeState(99): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("NodeState(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -332,6 +332,13 @@ func (m *Manager) rebuildSession(id string, created *wal.Record) (*managed, erro
 		h.done.Store(true)
 	}
 	m.mu.Lock()
+	if prev, ok := m.sessions[id]; ok {
+		// A concurrent recovery (two adoptions of overlapping estates)
+		// registered the session first: continue replay on that handle —
+		// the seq guards make double-applied trails idempotent.
+		m.mu.Unlock()
+		return prev, nil
+	}
 	m.sessions[id] = h
 	m.mu.Unlock()
 	return h, nil

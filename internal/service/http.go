@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 
 	"qfe/internal/algebra"
 	"qfe/internal/codec"
@@ -22,6 +23,18 @@ type HandlerOptions struct {
 	// MaxCandidates bounds candidate generation per session (0 = 32). A
 	// request may ask for fewer but never more.
 	MaxCandidates int
+	// MaxBodyBytes bounds request bodies (0 = 64 MiB); larger requests are
+	// rejected with 413 instead of buffering unboundedly.
+	MaxBodyBytes int64
+	// EnableAdmin exposes POST /admin/adopt — the cluster failover handoff
+	// endpoint. Off by default: only router-fronted workers should accept
+	// instructions to ingest another node's durable state.
+	EnableAdmin bool
+	// StatePath, when set with EnableAdmin, is this node's own snapshot
+	// file: after adopting an estate the worker checkpoints to it, so the
+	// adopted sessions are covered by this node's snapshot+WAL from then on
+	// (a later failover of this node hands off self-contained state).
+	StatePath string
 }
 
 // NewHandler wraps a Manager in the qfe-server HTTP/JSON API:
@@ -31,6 +44,9 @@ type HandlerOptions struct {
 //	POST   /sessions/{id}/feedback  {"choice": i} (0-based; -1 = none)
 //	DELETE /sessions/{id}           abandon
 //	GET    /stats                   manager + cache counters
+//	GET    /healthz                 WAL writability + session headroom
+//	POST   /admin/adopt             ingest a dead node's snapshot+WAL
+//	                                (only with EnableAdmin)
 //
 // Routing is done by hand so the server behaves identically across Go
 // versions (the 1.22 ServeMux pattern syntax is gated by go.mod version).
@@ -38,21 +54,104 @@ func NewHandler(m *Manager, opts HandlerOptions) http.Handler {
 	if opts.MaxCandidates <= 0 {
 		opts.MaxCandidates = 32
 	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
 	h := &httpAPI{m: m, opts: opts}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sessions", h.sessions)
 	mux.HandleFunc("/sessions/", h.session)
 	mux.HandleFunc("/stats", h.stats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", h.healthz)
+	if opts.EnableAdmin {
+		mux.HandleFunc("/admin/adopt", h.adopt)
+	}
 	return mux
 }
 
 type httpAPI struct {
 	m    *Manager
 	opts HandlerOptions
+	// adoptMu serializes estate adoptions: concurrent Recover calls are
+	// individually safe (merge-by-progress), but running them one at a time
+	// keeps replay work and memory bounded under failover storms.
+	adoptMu sync.Mutex
+}
+
+// healthz reports node health: 200 when the node can durably acknowledge
+// work, 503 when the WAL is no longer writable. The body carries the
+// session-count headroom either way, for load-aware routing.
+func (h *httpAPI) healthz(w http.ResponseWriter, r *http.Request) {
+	hs := h.m.Health()
+	status := http.StatusOK
+	if !hs.OK {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, hs)
+}
+
+// AdoptRequest is the POST /admin/adopt body: a dead node's durable estate.
+// Paths are resolved on this worker's filesystem — the deployment contract
+// is that per-node WAL roots and snapshots live on storage the surviving
+// workers can reach (shared disk, replicated volume; in the chaos harness,
+// one machine).
+type AdoptRequest struct {
+	StatePath string `json:"statePath,omitempty"`
+	WALDir    string `json:"walDir,omitempty"`
+}
+
+// AdoptResponse summarizes what an adoption rebuilt.
+type AdoptResponse struct {
+	SnapshotSessions int      `json:"snapshotSessions"`
+	ReplaySessions   int      `json:"replaySessions"`
+	RecordsApplied   int      `json:"recordsApplied"`
+	DurationNs       int64    `json:"durationNs"`
+	Errors           []string `json:"errors,omitempty"`
+}
+
+// adopt ingests a dead node's snapshot + WAL into this worker: Recover
+// merges the estate (by logical progress, never regressing local sessions),
+// then a checkpoint folds the adopted sessions into this node's own
+// durable state. Re-adoption of the same estate is idempotent, so the
+// router can retry handoffs freely.
+func (h *httpAPI) adopt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "POST /admin/adopt"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req AdoptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.StatePath == "" && req.WALDir == "" {
+		writeErr(w, errors.New("adopt needs a statePath or walDir"))
+		return
+	}
+	h.adoptMu.Lock()
+	defer h.adoptMu.Unlock()
+	rstats, err := h.m.Recover(req.StatePath, req.WALDir)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if h.opts.StatePath != "" {
+		if _, err := h.m.Checkpoint(h.opts.StatePath); err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+	}
+	resp := AdoptResponse{
+		SnapshotSessions: rstats.SnapshotSessions,
+		ReplaySessions:   rstats.ReplaySessions,
+		RecordsApplied:   rstats.RecordsApplied,
+		DurationNs:       rstats.DurationNs,
+	}
+	for _, e := range rstats.Errors {
+		resp.Errors = append(resp.Errors, e.Error())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // CreateRequest is the POST /sessions body. Either Dataset selects a
@@ -62,6 +161,12 @@ type httpAPI struct {
 type CreateRequest struct {
 	Dataset string `json:"dataset,omitempty"` // "demo", "scientific", "baseball", "adult"
 	Target  string `json:"target,omitempty"`  // dataset query name ("Q1", ...), default first
+
+	// SessionID, when set, names the session instead of letting the server
+	// pick (the cluster router generates ids and places them by hash).
+	// Creating an id that already exists returns that session's current
+	// status — the idempotency that makes routed create retries safe.
+	SessionID string `json:"sessionID,omitempty"`
 
 	Tables      []codec.Relation   `json:"tables,omitempty"`
 	Result      *codec.Relation    `json:"result,omitempty"`
@@ -182,7 +287,10 @@ type apiError struct {
 
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	var tooBig *http.MaxBytesError
 	switch {
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrCapacity):
@@ -195,6 +303,24 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
+// validSessionID accepts router-supplied ids: non-empty, bounded, and
+// path/query safe.
+func validSessionID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // sessions handles POST /sessions.
 func (h *httpAPI) sessions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -202,9 +328,14 @@ func (h *httpAPI) sessions(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "POST /sessions"})
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
 	var req CreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.SessionID != "" && !validSessionID(req.SessionID) {
+		writeErr(w, fmt.Errorf("invalid session id %q (want 1-128 chars of [A-Za-z0-9._-])", req.SessionID))
 		return
 	}
 	d, res, err := h.examplePair(req)
@@ -233,7 +364,12 @@ func (h *httpAPI) sessions(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errors.New("no SPJ query produces the given result on this database"))
 		return
 	}
-	st, err := h.m.Create(d, res, qc)
+	var st Status
+	if req.SessionID != "" {
+		st, err = h.m.CreateWithID(req.SessionID, d, res, qc)
+	} else {
+		st, err = h.m.Create(d, res, qc)
+	}
 	if err != nil {
 		if errors.Is(err, ErrCapacity) {
 			writeErr(w, err)
@@ -388,6 +524,7 @@ func (h *httpAPI) session(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "abandoned"})
 	case sub == "feedback" && r.Method == http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 		var req FeedbackRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, fmt.Errorf("bad request body: %w", err))

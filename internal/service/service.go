@@ -147,17 +147,55 @@ func newID() string {
 // session cap is reached (after evicting expired sessions) it returns
 // ErrCapacity — the backpressure signal.
 func (m *Manager) Create(d *db.Database, r *relation.Relation, qc []*algebra.Query) (Status, error) {
+	return m.CreateWithID(newID(), d, r, qc)
+}
+
+// CreateWithID is Create with a caller-chosen session id — the cluster
+// router's placement primitive: the router generates the id, hashes it onto
+// the consistent-hash ring, and sends the create to the id's home worker.
+// Creating an id that already exists returns the existing session's current
+// status instead of an error, which makes a retried create (whose first
+// acknowledgement was lost to a crash or dropped connection) idempotent.
+func (m *Manager) CreateWithID(id string, d *db.Database, r *relation.Relation, qc []*algebra.Query) (Status, error) {
+	if id == "" {
+		return Status{}, errors.New("service: empty session id")
+	}
+	// Idempotency fast path: a retried create finds the first attempt's
+	// session. Checked before the (expensive) engine start.
+	m.mu.Lock()
+	if prev, ok := m.sessions[id]; ok {
+		m.mu.Unlock()
+		prev.mu.Lock()
+		defer prev.mu.Unlock()
+		if prev.dead != nil {
+			return Status{}, prev.dead
+		}
+		return m.statusLocked(prev), nil
+	}
+	m.mu.Unlock()
+
 	sess, err := core.NewStepSession(d, r, qc, m.opts.Config)
 	if err != nil {
 		return Status{}, err
 	}
 	now := m.opts.Clock()
-	h := &managed{id: newID(), sess: sess, created: now, lastUsed: now}
+	h := &managed{id: id, sess: sess, created: now, lastUsed: now}
 	h.mu.Lock() // reserve: nobody can step until Start finishes
 	defer h.mu.Unlock()
 
 	m.mu.Lock()
 	m.evictExpiredLocked(now)
+	if prev, ok := m.sessions[h.id]; ok {
+		// Lost a race against a concurrent create of the same id: the first
+		// registration wins, this one resolves idempotently against it.
+		m.mu.Unlock()
+		prev.mu.Lock()
+		defer prev.mu.Unlock()
+		if prev.dead != nil {
+			return Status{}, prev.dead
+		}
+		return m.statusLocked(prev), nil
+	}
 	if m.liveLocked() >= m.opts.MaxSessions {
 		m.mu.Unlock()
 		return Status{}, ErrCapacity
@@ -417,6 +455,50 @@ func (m *Manager) cache() *evalcache.Cache {
 	return evalcache.Default()
 }
 
+// HealthStatus is the /healthz payload: whether this node can accept new
+// work and durably acknowledge it. The cluster router's failure detector
+// probes it; OK is false exactly when acknowledgements would be unsafe
+// (the write-ahead log can no longer be written or flushed).
+type HealthStatus struct {
+	OK bool `json:"ok"`
+	// WALWritable reports the journal accepting appends (a probe flush
+	// succeeded); true when no journal is configured.
+	WALWritable bool   `json:"walWritable"`
+	WALError    string `json:"walError,omitempty"`
+	// Session-count headroom: how many more live sessions fit under the cap.
+	Resident    int `json:"resident"`
+	Live        int `json:"live"`
+	MaxSessions int `json:"maxSessions"`
+	Headroom    int `json:"headroom"`
+}
+
+// Health reports the node's ability to take on and durably acknowledge
+// sessions.
+func (m *Manager) Health() HealthStatus {
+	m.mu.Lock()
+	resident := len(m.sessions)
+	live := m.liveLocked()
+	m.mu.Unlock()
+	hs := HealthStatus{
+		OK:          true,
+		WALWritable: true,
+		Resident:    resident,
+		Live:        live,
+		MaxSessions: m.opts.MaxSessions,
+	}
+	if hs.Headroom = m.opts.MaxSessions - live; hs.Headroom < 0 {
+		hs.Headroom = 0
+	}
+	if m.opts.Journal != nil {
+		if err := m.opts.Journal.Ping(); err != nil {
+			hs.OK = false
+			hs.WALWritable = false
+			hs.WALError = err.Error()
+		}
+	}
+	return hs
+}
+
 // Stats returns current counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
@@ -508,13 +590,50 @@ func (m *Manager) Save(w io.Writer) (int, error) {
 	return len(state.Sessions), nil
 }
 
+// snapshotProgress extracts a snapshot's logical progress without the cost
+// of restoring it: the last generated round number and whether the session
+// has reached a terminal state.
+func snapshotProgress(snap *core.Snapshot) (seq int, done bool) {
+	if snap == nil {
+		return 0, false
+	}
+	return snap.Seq, snap.State == "done" || snap.State == "failed" || snap.Outcome != nil
+}
+
+// progress reads a resident handle's logical progress under its lock.
+// Tombstones (no engine session) report seq -1 so any real state beats them.
+func (h *managed) progress() (seq int, done bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sess == nil {
+		return -1, true
+	}
+	return h.sess.Seq(), h.done.Load()
+}
+
+// moreAdvanced orders two copies of one session by logical progress: a
+// higher round seq wins; at equal seq a terminal copy beats a live one (the
+// terminal copy has consumed that round's feedback). This is the merge rule
+// that makes cluster estate adoption monotone — restoring an old copy of a
+// session the node already holds in a fresher state is a no-op, so replayed
+// or re-broadcast handoffs can never regress acknowledged state.
+func moreAdvanced(incSeq int, incDone bool, curSeq int, curDone bool) bool {
+	if incSeq != curSeq {
+		return incSeq > curSeq
+	}
+	return incDone && !curDone
+}
+
 // Load restores sessions previously written by Save into the manager,
 // returning how many were restored (surfaced as sessionsRestored in Stats).
 // Sessions whose snapshots no longer decode are skipped and reported in
-// errs; existing sessions with the same ID are replaced. The live-session
-// cap applies to restored sessions exactly as to created ones: when the
-// state file holds more live sessions than MaxSessions allows, the idlest
-// (oldest lastUsed) are evicted first and counted as evictions.
+// errs. An existing session with the same ID is replaced only when the
+// loaded copy is strictly more advanced (see moreAdvanced): Load merges
+// states rather than overwriting, so adopting a failed-over node's estate
+// cannot roll back sessions this node already serves. The live-session cap
+// applies to restored sessions exactly as to created ones: when the state
+// file holds more live sessions than MaxSessions allows, the idlest (oldest
+// lastUsed) are evicted first and counted as evictions.
 func (m *Manager) Load(r io.Reader) (int, []error) {
 	var state savedState
 	if err := json.NewDecoder(r).Decode(&state); err != nil {
@@ -526,6 +645,16 @@ func (m *Manager) Load(r io.Reader) (int, []error) {
 	var errs []error
 	n := 0
 	for _, ss := range state.Sessions {
+		incSeq, incDone := snapshotProgress(ss.Snapshot)
+		m.mu.Lock()
+		cur := m.sessions[ss.ID]
+		m.mu.Unlock()
+		if cur != nil {
+			curSeq, curDone := cur.progress()
+			if !moreAdvanced(incSeq, incDone, curSeq, curDone) {
+				continue
+			}
+		}
 		sess, err := core.Restore(ss.Snapshot, nil)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("session %s: %w", ss.ID, err))
@@ -546,6 +675,13 @@ func (m *Manager) Load(r io.Reader) (int, []error) {
 			h.done.Store(true)
 		}
 		m.mu.Lock()
+		if m.sessions[ss.ID] != cur {
+			// The handle changed while we were decoding (a concurrent adopt
+			// installed a fresher copy): keep it — re-running Load is
+			// idempotent, regressing is not.
+			m.mu.Unlock()
+			continue
+		}
 		m.sessions[ss.ID] = h
 		m.mu.Unlock()
 		m.restored.Add(1)

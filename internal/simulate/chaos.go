@@ -19,6 +19,7 @@ package simulate
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"qfe/internal/codec"
 	"qfe/internal/feedback"
 	"qfe/internal/par"
+	"qfe/internal/retry"
 	"qfe/internal/scenario"
 	"qfe/internal/service"
 )
@@ -207,9 +209,12 @@ func freePort() (int, error) {
 }
 
 // chaosClient is the retrying, seq-aware HTTP client the session drivers
-// share. Transport errors (connection refused/reset while the server is
-// down or restarting) retry with backoff; any HTTP response is
-// authoritative — the server was alive to produce it.
+// share, built on retry.Policy (capped exponential backoff + full jitter).
+// Transport errors (connection refused/reset while a server is down or
+// restarting) and backpressure statuses (429, 502, 503, 504 — a router
+// fencing a dead worker or shedding load answers 503 + Retry-After) retry
+// until the budget runs out; every other HTTP response is authoritative —
+// the server was alive to produce it.
 type chaosClient struct {
 	base     string
 	client   *http.Client
@@ -221,6 +226,17 @@ type chaosClient struct {
 // restarted server does not know a session or round it acknowledged.
 var errLost = errors.New("chaos: acknowledged state lost")
 
+// retryableStatus reports whether an HTTP status promises that trying again
+// later can succeed.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
 func (c *chaosClient) do(method, path string, body any) (*service.SessionJSON, error) {
 	var payload []byte
 	if body != nil {
@@ -229,70 +245,69 @@ func (c *chaosClient) do(method, path string, body any) (*service.SessionJSON, e
 			return nil, err
 		}
 	}
-	deadline := time.Now().Add(c.retryFor)
-	backoff := 25 * time.Millisecond
-	for {
+	var st *service.SessionJSON
+	pol := retry.Policy{
+		Cap:     400 * time.Millisecond,
+		Budget:  c.retryFor,
+		OnRetry: func(int, error, time.Duration) { c.retries.Add(1) },
+	}
+	err := pol.Do(context.Background(), func() error {
 		var rd io.Reader
 		if payload != nil {
 			rd = bytes.NewReader(payload)
 		}
 		req, err := http.NewRequest(method, c.base+path, rd)
 		if err != nil {
-			return nil, err
+			return retry.Permanent(err)
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := c.client.Do(req)
 		if err != nil {
-			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("chaos: %s %s: retries exhausted: %w", method, path, err)
-			}
-			c.retries.Add(1)
-			time.Sleep(backoff)
-			if backoff < 400*time.Millisecond {
-				backoff *= 2
-			}
-			continue
+			return fmt.Errorf("chaos: %s %s: %w", method, path, err)
 		}
 		data, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if rerr != nil {
 			// Connection died mid-response (a kill landed between headers
 			// and body): indistinguishable from a lost request — retry.
-			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("chaos: %s %s: retries exhausted: %w", method, path, rerr)
-			}
-			c.retries.Add(1)
-			time.Sleep(backoff)
-			continue
+			return fmt.Errorf("chaos: %s %s: reading response: %w", method, path, rerr)
 		}
 		if resp.StatusCode >= 300 {
 			var apiErr struct {
 				Error string `json:"error"`
 			}
 			_ = json.Unmarshal(data, &apiErr)
-			switch resp.StatusCode {
-			case http.StatusNotFound:
-				return nil, fmt.Errorf("%w: %s %s: 404 %s", errLost, method, path, apiErr.Error)
-			case http.StatusConflict:
+			switch {
+			case resp.StatusCode == http.StatusNotFound:
+				return retry.Permanent(fmt.Errorf("%w: %s %s: 404 %s", errLost, method, path, apiErr.Error))
+			case resp.StatusCode == http.StatusConflict:
 				// ErrSeqAhead is the lost-acknowledged-round detector;
 				// ErrFinished cannot reach a seq-tagged client (that path
 				// returns the idempotent status instead).
-				return nil, fmt.Errorf("%w: %s %s: 409 %s", errLost, method, path, apiErr.Error)
+				return retry.Permanent(fmt.Errorf("%w: %s %s: 409 %s", errLost, method, path, apiErr.Error))
+			case retryableStatus(resp.StatusCode):
+				return fmt.Errorf("chaos: %s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
 			default:
-				return nil, fmt.Errorf("chaos: %s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
+				return retry.Permanent(fmt.Errorf("chaos: %s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error))
 			}
 		}
 		if method == http.MethodDelete {
-			return nil, nil
+			st = nil
+			return nil
 		}
-		var st service.SessionJSON
-		if err := json.Unmarshal(data, &st); err != nil {
-			return nil, fmt.Errorf("chaos: decoding %s response: %w", path, err)
+		var decoded service.SessionJSON
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			return retry.Permanent(fmt.Errorf("chaos: decoding %s response: %w", path, err))
 		}
-		return &st, nil
+		st = &decoded
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return st, nil
 }
 
 // driveSession runs one scenario to its outcome through the retrying

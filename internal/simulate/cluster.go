@@ -1,0 +1,395 @@
+// Cluster chaos harness: end-to-end validation of the cluster tier
+// (DESIGN.md §12) with real processes. RunClusterChaos launches N
+// qfe-server workers and a qfe-router as subprocesses, drives concurrent
+// sessions through the router while a killer goroutine SIGKILLs random
+// workers at progress-randomized points (dead workers stay dead — the
+// router fences them, hands their WAL estate to the survivors, and
+// reassigns their hash range), and verifies the same two properties as the
+// single-node harness:
+//
+//   - zero lost acknowledged state: every session any worker acknowledged
+//     survives the deaths of up to Nodes-1 workers, and
+//   - outcome determinism: every session's final outcome is byte-identical
+//     to a reference run against one uninterrupted single-node server.
+package simulate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qfe/internal/par"
+)
+
+// ClusterChaosOptions tunes a cluster chaos run. RouterBin joins
+// ChaosOptions.ServerBin as a required binary path.
+type ClusterChaosOptions struct {
+	ChaosOptions
+	// RouterBin is the path to a built qfe-router binary.
+	RouterBin string
+	// Nodes is the worker count (default 3).
+	Nodes int
+	// Kills (from ChaosOptions) is how many workers to SIGKILL; clamped to
+	// Nodes-1 so at least one worker survives to adopt the estates.
+}
+
+// ClusterReport is the JSON report of a cluster chaos run
+// (BENCH_cluster.json).
+type ClusterReport struct {
+	Sessions    int   `json:"sessions"`
+	Nodes       int   `json:"nodes"`
+	Workers     int   `json:"workers"`
+	Kills       int   `json:"kills"`       // requested worker deaths
+	KillsLanded int   `json:"killsLanded"` // SIGKILLs actually delivered mid-run
+	Seed        int64 `json:"seed"`
+
+	// Completed sessions reached an outcome; Lost counts durability
+	// violations (a 404/409 for acknowledged state); Mismatched counts
+	// outcomes differing from the single-node reference run; Skipped slots
+	// failed deterministically in the reference pass. A correct cluster
+	// keeps Lost, Mismatched and Errors at zero.
+	Completed  int `json:"completed"`
+	Lost       int `json:"lostAcknowledged"`
+	Mismatched int `json:"outcomeMismatches"`
+	Errors     int `json:"errors"`
+	Skipped    int `json:"skipped"`
+
+	// HTTPRetries counts client attempts retried against the router.
+	HTTPRetries int `json:"httpRetries"`
+
+	// Router counters at the end of the run (see cluster.CounterSnapshot).
+	Failovers     int64 `json:"failovers"`
+	AdoptCalls    int64 `json:"adoptCalls"`
+	AdoptErrors   int64 `json:"adoptErrors"`
+	RouterRetries int64 `json:"routerRetries"`
+	Shed          int64 `json:"shed"`
+
+	WallNs int64 `json:"wallNs"`
+}
+
+// proc is one managed subprocess (worker or router) with an HTTP base URL.
+type proc struct {
+	name string
+	base string
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+}
+
+// start launches the process and waits for its /healthz.
+func (p *proc) start(bin string, args []string) error {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("cluster: starting %s: %w", p.name, err)
+	}
+	p.mu.Lock()
+	p.cmd = cmd
+	p.mu.Unlock()
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	p.kill()
+	return fmt.Errorf("cluster: %s did not become healthy within 60s", p.name)
+}
+
+// kill SIGKILLs the process and reaps it (idempotent).
+func (p *proc) kill() {
+	p.mu.Lock()
+	cmd := p.cmd
+	p.cmd = nil
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+}
+
+// RunClusterChaos executes the full harness: a single-node reference pass,
+// then the cluster pass with worker SIGKILLs, then the comparison. The
+// caller gates on Lost, Mismatched and Errors all being zero.
+func RunClusterChaos(opts ClusterChaosOptions) (*ClusterReport, error) {
+	if opts.ServerBin == "" {
+		return nil, errors.New("cluster: ServerBin is required")
+	}
+	if opts.RouterBin == "" {
+		return nil, errors.New("cluster: RouterBin is required")
+	}
+	if len(opts.Corpus) == 0 {
+		return nil, errors.New("cluster: empty corpus")
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 50
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Kills <= 0 {
+		opts.Kills = 1
+	}
+	if opts.Kills > opts.Nodes-1 {
+		// At least one worker must survive to adopt the estates.
+		opts.Kills = opts.Nodes - 1
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 16
+	}
+	if opts.SyncPolicy == "" {
+		opts.SyncPolicy = "off"
+	}
+	if opts.Checkpoint <= 0 {
+		opts.Checkpoint = 500 * time.Millisecond
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 30 * time.Second
+	}
+	if opts.RetryFor <= 0 {
+		opts.RetryFor = 2 * time.Minute
+	}
+	if opts.Log == nil {
+		opts.Log = os.Stderr
+	}
+	if opts.WorkDir == "" {
+		dir, err := os.MkdirTemp("", "qfe-cluster-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		opts.WorkDir = dir
+	}
+
+	t0 := time.Now()
+
+	// Reference pass: the same corpus against one uninterrupted single-node
+	// server. The cluster must reproduce these outcomes byte-identically —
+	// placement, failover and adoption may move sessions between machines
+	// but must never change what the engine computes.
+	fmt.Fprintf(opts.Log, "cluster: reference pass: %d sessions, %d workers (single node)\n",
+		opts.Sessions, opts.Workers)
+	refOut, _, err := runPass(opts.ChaosOptions, filepath.Join(opts.WorkDir, "ref"), nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reference pass: %w", err)
+	}
+	skip := make([]bool, len(refOut))
+	for i, o := range refOut {
+		if o.err != nil {
+			skip[i] = true
+			fmt.Fprintf(opts.Log, "cluster: session %d: skipped (reference: %v)\n", i, o.err)
+		}
+	}
+
+	rep := &ClusterReport{
+		Sessions: opts.Sessions,
+		Nodes:    opts.Nodes,
+		Workers:  opts.Workers,
+		Kills:    opts.Kills,
+		Seed:     opts.Seed,
+	}
+
+	// Cluster topology: N workers, each with its own state file and WAL
+	// directory, plus the router fronting them.
+	workers := make([]*proc, opts.Nodes)
+	workerArgs := make([]string, 0, opts.Nodes)
+	defer func() {
+		for _, w := range workers {
+			if w != nil {
+				w.kill()
+			}
+		}
+	}()
+	for i := range workers {
+		port, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		id := "w" + strconv.Itoa(i)
+		dir := filepath.Join(opts.WorkDir, "node-"+strconv.Itoa(i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		statePath := filepath.Join(dir, "state.json")
+		walDir := filepath.Join(dir, "wal")
+		w := &proc{name: id, base: "http://127.0.0.1:" + strconv.Itoa(port)}
+		if err := w.start(opts.ServerBin, []string{
+			"-addr", "127.0.0.1:" + strconv.Itoa(port),
+			"-state", statePath,
+			"-wal", walDir,
+			"-wal-sync", opts.SyncPolicy,
+			"-checkpoint", opts.Checkpoint.String(),
+			"-candidates", strconv.Itoa(opts.MaxCandidates),
+			"-admin",
+		}); err != nil {
+			return nil, err
+		}
+		workers[i] = w
+		workerArgs = append(workerArgs, "-worker",
+			fmt.Sprintf("id=%s,url=%s,state=%s,wal=%s", id, w.base, statePath, walDir))
+	}
+
+	routerPort, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	router := &proc{name: "router", base: "http://127.0.0.1:" + strconv.Itoa(routerPort)}
+	args := append([]string{
+		"-addr", "127.0.0.1:" + strconv.Itoa(routerPort),
+		"-probe-interval", "100ms",
+		"-dead-after", "3",
+		"-retry-budget", "30s",
+		"-call-timeout", opts.CallTimeout.String(),
+	}, workerArgs...)
+	if err := router.start(opts.RouterBin, args); err != nil {
+		return nil, err
+	}
+	defer router.kill()
+	fmt.Fprintf(opts.Log, "cluster: kill pass: %d worker(s) + router up, %d progress-triggered kill(s)\n",
+		opts.Nodes, opts.Kills)
+
+	client := &chaosClient{
+		base:     router.base,
+		client:   &http.Client{Timeout: opts.CallTimeout},
+		retryFor: opts.RetryFor,
+	}
+
+	// Killer: at each progress-randomized point, SIGKILL one random
+	// still-alive worker. No restarts — death is terminal in the cluster
+	// design; the router must reroute and the survivors must carry on. Kill
+	// points land in the first ~60% of the run so every requested death
+	// happens while sessions are still in flight (the comparison is only
+	// interesting for kills the cluster had to survive mid-load).
+	done := make(chan struct{})
+	var completed atomic.Int64
+	var killsLanded atomic.Int64
+	var killerWG sync.WaitGroup
+	rng := rand.New(rand.NewSource(opts.Seed))
+	points := make([]int, opts.Kills)
+	for k := range points {
+		points[k] = rng.Intn(opts.Sessions*3/5 + 1)
+	}
+	sortInts(points)
+	alive := make([]int, opts.Nodes)
+	for i := range alive {
+		alive[i] = i
+	}
+	killerWG.Add(1)
+	go func() {
+		defer killerWG.Done()
+		for k, point := range points {
+			for completed.Load() < int64(point) {
+				select {
+				case <-done:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			// Once the point is reached the kill always fires (even if the
+			// run drains in this instant): the jitter lands the SIGKILL at an
+			// arbitrary instruction rather than on a session boundary.
+			time.Sleep(time.Duration(rng.Int63n(int64(40 * time.Millisecond))))
+			vi := rng.Intn(len(alive))
+			victim := alive[vi]
+			alive = append(alive[:vi], alive[vi+1:]...)
+			workers[victim].kill()
+			killsLanded.Add(1)
+			fmt.Fprintf(opts.Log, "cluster: kill %d/%d: SIGKILL w%d (at %d completed sessions); %d worker(s) left\n",
+				k+1, opts.Kills, victim, completed.Load(), len(alive))
+		}
+	}()
+
+	out := make([]sessionOutcome, opts.Sessions)
+	par.Do(opts.Sessions, opts.Workers, func(i int) {
+		sc := opts.Corpus[i%len(opts.Corpus)]
+		o, err := driveSession(client, sc, opts.MaxCandidates)
+		out[i] = sessionOutcome{outcome: o, err: err}
+		completed.Add(1)
+	})
+	close(done)
+	killerWG.Wait()
+	rep.KillsLanded = int(killsLanded.Load())
+	rep.HTTPRetries = int(client.retries.Load())
+
+	// Fold in the router's own counters before tearing anything down.
+	if stats, err := fetchClusterStats(router.base); err == nil {
+		rep.Failovers = stats.Counters.Failovers
+		rep.AdoptCalls = stats.Counters.AdoptCalls
+		rep.AdoptErrors = stats.Counters.AdoptErrors
+		rep.RouterRetries = stats.Counters.Retries
+		rep.Shed = stats.Counters.Shed
+	} else {
+		fmt.Fprintf(opts.Log, "cluster: fetching router stats: %v\n", err)
+	}
+
+	for i := range out {
+		co := out[i]
+		switch {
+		case skip[i]:
+			rep.Skipped++
+		case co.err != nil && errors.Is(co.err, errLost):
+			rep.Lost++
+			fmt.Fprintf(opts.Log, "cluster: session %d: LOST: %v\n", i, co.err)
+		case co.err != nil:
+			rep.Errors++
+			fmt.Fprintf(opts.Log, "cluster: session %d: error: %v\n", i, co.err)
+		default:
+			rep.Completed++
+			want, _ := json.Marshal(refOut[i].outcome)
+			got, _ := json.Marshal(co.outcome)
+			if string(want) != string(got) {
+				rep.Mismatched++
+				fmt.Fprintf(opts.Log, "cluster: session %d: outcome mismatch:\n  ref:     %s\n  cluster: %s\n", i, want, got)
+			}
+		}
+	}
+	rep.WallNs = int64(time.Since(t0))
+	return rep, nil
+}
+
+// clusterStatsLite mirrors the fields of cluster.ClusterStats the report
+// needs (decoded structurally to avoid importing the router into the
+// harness).
+type clusterStatsLite struct {
+	Counters struct {
+		Retries     int64 `json:"retries"`
+		Shed        int64 `json:"shed"`
+		Failovers   int64 `json:"failovers"`
+		AdoptCalls  int64 `json:"adoptCalls"`
+		AdoptErrors int64 `json:"adoptErrors"`
+	} `json:"counters"`
+}
+
+func fetchClusterStats(base string) (*clusterStatsLite, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(base + "/cluster/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st clusterStatsLite
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

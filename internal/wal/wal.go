@@ -276,6 +276,20 @@ func (l *Log) Sync() error {
 	return l.f.Sync()
 }
 
+// Ping probes the log's ability to durably accept appends — the health
+// check's WAL-writability signal. Unlike Sync (a no-op on a closed log, by
+// design: the shutdown path calls it unconditionally), Ping reports a
+// closed log as an error, because a node that can no longer journal must
+// not acknowledge new transitions.
+func (l *Log) Ping() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.f == nil {
+		return fmt.Errorf("wal: log closed")
+	}
+	return l.f.Sync()
+}
+
 // syncLoop is SyncInterval's background flusher.
 func (l *Log) syncLoop() {
 	t := time.NewTicker(l.opts.SyncInterval)
