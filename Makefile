@@ -6,10 +6,16 @@ GO ?= go
 # Restrict with e.g. `make bench BENCH=BenchmarkMicro` for a faster run.
 BENCH ?= .
 
-.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke chaos chaos-smoke cluster cluster-smoke
+# Build identity stamped into every binary (qfe_build_info, /stats,
+# /cluster/stats). Overridable: `make build VERSION=v1.2.3`.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS  = -ldflags "-X qfe/internal/obs.Version=$(VERSION) -X qfe/internal/obs.Commit=$(COMMIT)"
+
+.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke chaos chaos-smoke cluster cluster-smoke metrics-smoke
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -109,3 +115,13 @@ cluster:
 		-server-bin /tmp/qfe-server -router-bin /tmp/qfe-router \
 		-cluster 3 -sessions 80 -workers 8 -kills 2 -seed 1 \
 		-report BENCH_cluster.json
+
+# Observability gate (CI): boot a 2-worker cluster behind the router, run
+# real sessions, kill one worker, then scrape /metrics on the router and the
+# surviving worker — fail unless the round-phase histograms, WAL fsync
+# latency, evalcache counters and the failover counter are present and
+# non-zero (DESIGN.md §13).
+metrics-smoke:
+	$(GO) build $(LDFLAGS) -o /tmp/qfe-server ./cmd/qfe-server
+	$(GO) build $(LDFLAGS) -o /tmp/qfe-router ./cmd/qfe-router
+	./scripts/metrics_smoke.sh /tmp/qfe-server /tmp/qfe-router

@@ -22,7 +22,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -32,6 +31,7 @@ import (
 	"time"
 
 	"qfe/internal/cluster"
+	"qfe/internal/obs"
 )
 
 // workerFlags collects repeated -worker definitions.
@@ -78,6 +78,8 @@ func main() {
 		maxInflight   = flag.Int64("max-inflight", 64, "per-worker concurrent request cap (503 + Retry-After beyond)")
 		retryBudget   = flag.Duration("retry-budget", 30*time.Second, "total retry time per proxied request (must cover failover)")
 		callTimeout   = flag.Duration("call-timeout", 2*time.Minute, "per-attempt upstream timeout")
+		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (empty = off)")
 	)
 	flag.Var(&workers, "worker", "worker definition id=ID,url=URL[,state=PATH,wal=DIR] (repeatable)")
 	flag.Parse()
@@ -86,8 +88,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qfe-router: at least one -worker is required")
 		os.Exit(1)
 	}
+	lf, err := obs.ParseLogFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfe-router:", err)
+		os.Exit(1)
+	}
+	// Logs go to stderr: stdout stays reserved for the machine-parsed
+	// "listening on" line the port-0 harnesses read.
+	logger := obs.SetupLogger(lf, os.Stderr)
+	obs.ServeDebug(*debugAddr, func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+	})
 
-	logger := log.New(os.Stdout, "qfe-router: ", log.LstdFlags|log.Lmsgprefix)
 	rt, err := cluster.NewRouter(cluster.Options{
 		Workers:       workers,
 		VirtualNodes:  *vnodes,
@@ -97,16 +109,31 @@ func main() {
 		MaxInflight:   *maxInflight,
 		RetryBudget:   *retryBudget,
 		CallTimeout:   *callTimeout,
-		Logf:          logger.Printf,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qfe-router:", err)
+		logger.Error("router init failed", "err", err)
 		os.Exit(1)
 	}
 	rt.Start()
 
+	// The middleware mints the X-Request-ID here at the cluster's front
+	// door; the router's proxy path forwards it so every worker log line
+	// for the same client call carries the same id.
+	handler := obs.Middleware(rt, obs.MiddlewareOptions{
+		Routes: []string{
+			"/sessions", "/sessions/{id}", "/sessions/{id}/feedback",
+			"/healthz", "/cluster/stats", "/metrics",
+		},
+		RouteFor:     routeFor,
+		SessionIDFor: sessionIDFor,
+		Logger:       logger,
+	})
+
 	srv := &http.Server{
-		Handler:           rt,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Write timeout must cover a full retry budget plus one slow attempt.
 		WriteTimeout: *retryBudget + *callTimeout,
@@ -114,7 +141,7 @@ func main() {
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qfe-router:", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 
@@ -125,7 +152,7 @@ func main() {
 		<-sig
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "qfe-router: shutdown:", err)
+			logger.Error("shutdown", "err", err)
 		}
 		cancel()
 		rt.Stop()
@@ -136,8 +163,35 @@ func main() {
 	fmt.Printf("qfe-router: listening on %s (%d worker(s), probe %s, dead after %d)\n",
 		ln.Addr(), len(workers), *probeInterval, *deadAfter)
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "qfe-router:", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 	<-done
+}
+
+// routeFor maps request paths to bounded route templates for per-route
+// metrics (session ids must never become label values).
+func routeFor(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/sessions", p == "/healthz", p == "/cluster/stats", p == "/metrics":
+		return p
+	case strings.HasPrefix(p, "/sessions/"):
+		rest := strings.TrimPrefix(p, "/sessions/")
+		if _, sub, _ := strings.Cut(rest, "/"); sub == "feedback" {
+			return "/sessions/{id}/feedback"
+		}
+		return "/sessions/{id}"
+	}
+	return ""
+}
+
+// sessionIDFor extracts the session id from /sessions/{id}[...] paths for
+// structured log attribution.
+func sessionIDFor(r *http.Request) string {
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/sessions/"); ok {
+		id, _, _ := strings.Cut(rest, "/")
+		return id
+	}
+	return ""
 }

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"qfe/internal/core"
+	"qfe/internal/obs"
 	"qfe/internal/service"
 	"qfe/internal/wal"
 )
@@ -66,8 +67,23 @@ func main() {
 		walSegBytes  = flag.Int64("wal-segment-bytes", 4<<20, "rotate WAL segments beyond this size")
 		checkpoint   = flag.Duration("checkpoint", time.Minute, "snapshot + WAL truncation cadence (needs -state; 0 disables)")
 		pairBudget   = flag.Int("pair-budget", 0, "deterministic generator budget in candidate pairs (0 = wall-clock default; forced to 100000 under -wal)")
+
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (empty = off)")
 	)
 	flag.Parse()
+
+	lf, err := obs.ParseLogFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qfe-server:", err)
+		os.Exit(1)
+	}
+	// Logs go to stderr: stdout stays reserved for the machine-parsed
+	// "listening on" line the port-0 harnesses read.
+	logger := obs.SetupLogger(lf, os.Stderr)
+	obs.ServeDebug(*debugAddr, func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+	})
 
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
@@ -81,14 +97,14 @@ func main() {
 		// deterministic pair-count budget the simulator uses.
 		cfg.Gen.Budget.MaxPairs = 100000
 		cfg.Gen.Budget.MaxDuration = 0
-		fmt.Println("qfe-server: -wal forces deterministic generator budget (100000 pairs)")
+		logger.Info("-wal forces deterministic generator budget", "pairs", 100000)
 	}
 
 	var journal *wal.Log
 	if *walDir != "" {
 		pol, err := wal.ParseSyncPolicy(*walSync)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qfe-server:", err)
+			logger.Error("bad -wal-sync", "err", err)
 			os.Exit(1)
 		}
 		journal, err = wal.Open(wal.Options{
@@ -98,7 +114,7 @@ func main() {
 			SyncInterval: *walSyncEvery,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qfe-server:", err)
+			logger.Error("wal open failed", "dir", *walDir, "err", err)
 			os.Exit(1)
 		}
 	}
@@ -110,38 +126,50 @@ func main() {
 		Journal:     journal,
 	})
 
+	// Session-population gauges are registered here, against this process's
+	// single Manager (the service package cannot: tests build many Managers
+	// and per-Manager registration would alias them).
+	obs.NewGaugeFunc("qfe_sessions_resident",
+		"Sessions currently held by this server.",
+		func() float64 { return float64(m.Resident()) })
+	obs.NewGaugeFunc("qfe_sessions_live",
+		"Resident, unfinished sessions on this server.",
+		func() float64 { return float64(m.Live()) })
+
 	// Recover before serving: newest snapshot first, then deterministic
 	// replay of the WAL tail. With no -wal this degrades to the plain
 	// snapshot restore.
 	if *statePath != "" || *walDir != "" {
 		rstats, err := m.Recover(*statePath, *walDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qfe-server: recover:", err)
+			logger.Error("recover failed", "err", err)
 			os.Exit(1)
 		}
 		for _, e := range rstats.Errors {
-			fmt.Fprintln(os.Stderr, "qfe-server: recover:", e)
+			logger.Warn("recover", "err", e)
 		}
 		if rstats.SnapshotSessions+rstats.ReplaySessions > 0 || rstats.WAL.Records > 0 {
 			// A session can be counted in both: restored from the snapshot
 			// and then advanced by WAL replay.
-			fmt.Printf("qfe-server: recovery: %d session(s) from snapshot, %d touched by WAL replay (%d record(s)) in %s\n",
-				rstats.SnapshotSessions, rstats.ReplaySessions,
-				rstats.WAL.Records, time.Duration(rstats.DurationNs))
+			logger.Info("recovery complete",
+				"snapshot_sessions", rstats.SnapshotSessions,
+				"replay_sessions", rstats.ReplaySessions,
+				"wal_records", rstats.WAL.Records,
+				"elapsed", time.Duration(rstats.DurationNs))
 		}
 		if rstats.WAL.TornTail {
-			fmt.Fprintf(os.Stderr, "qfe-server: recover: torn WAL tail (%d byte(s) dropped) — expected after a crash\n",
-				rstats.WAL.DroppedBytes)
+			logger.Warn("torn WAL tail dropped (expected after a crash)",
+				"dropped_bytes", rstats.WAL.DroppedBytes)
 		}
 		if rstats.WAL.Corrupt {
-			fmt.Fprintf(os.Stderr, "qfe-server: recover: WAL corruption before the tail (%d byte(s) dropped)\n",
-				rstats.WAL.DroppedBytes)
+			logger.Warn("WAL corruption before the tail",
+				"dropped_bytes", rstats.WAL.DroppedBytes)
 		}
 		// Fold the recovered state into a fresh snapshot immediately so the
 		// replayed tail is not replayed again next time.
 		if *statePath != "" {
 			if _, err := m.Checkpoint(*statePath); err != nil {
-				fmt.Fprintln(os.Stderr, "qfe-server: checkpoint:", err)
+				logger.Error("checkpoint failed", "err", err)
 			}
 		}
 	}
@@ -168,7 +196,7 @@ func main() {
 			defer t.Stop()
 			for range t.C {
 				if _, err := m.Checkpoint(*statePath); err != nil {
-					fmt.Fprintln(os.Stderr, "qfe-server: checkpoint:", err)
+					logger.Error("checkpoint failed", "err", err)
 				}
 			}
 		}()
@@ -180,6 +208,7 @@ func main() {
 			MaxBodyBytes:  *maxBody,
 			EnableAdmin:   *admin,
 			StatePath:     *statePath,
+			Logger:        logger,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
@@ -189,7 +218,7 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qfe-server:", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 
@@ -202,19 +231,19 @@ func main() {
 		// after the snapshot would otherwise be lost from the saved state.
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "qfe-server: shutdown:", err)
+			logger.Error("shutdown", "err", err)
 		}
 		cancel()
 		if *statePath != "" {
 			if n, err := m.Checkpoint(*statePath); err != nil {
-				fmt.Fprintln(os.Stderr, "qfe-server: save:", err)
+				logger.Error("final checkpoint failed", "err", err)
 			} else {
-				fmt.Printf("qfe-server: saved %d session(s) to %s\n", n, *statePath)
+				logger.Info("saved sessions", "count", n, "path", *statePath)
 			}
 		}
 		if journal != nil {
 			if err := journal.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "qfe-server: wal:", err)
+				logger.Error("wal close", "err", err)
 			}
 		}
 		close(done)
@@ -224,7 +253,7 @@ func main() {
 	// harnesses pick a free port and parse it from this line.
 	fmt.Printf("qfe-server: listening on %s (ttl %s, max %d sessions)\n", ln.Addr(), *ttl, *maxSessions)
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "qfe-server:", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 	<-done

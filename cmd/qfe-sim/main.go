@@ -27,14 +27,31 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"qfe/internal/obs"
 	"qfe/internal/scenario"
 	"qfe/internal/simulate"
 )
+
+// logFormatFlag registers the shared -log-format flag on a subcommand's
+// FlagSet; the returned setup func installs the slog default (stderr, so
+// stdout stays parseable report output).
+func logFormatFlag(fs *flag.FlagSet) func() error {
+	format := fs.String("log-format", "text", "structured log format: text or json")
+	return func() error {
+		lf, err := obs.ParseLogFormat(*format)
+		if err != nil {
+			return err
+		}
+		obs.SetupLogger(lf, os.Stderr)
+		return nil
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -58,7 +75,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qfe-sim:", err)
+		slog.Error("qfe-sim failed", "command", os.Args[1], "err", err)
 		os.Exit(1)
 	}
 }
@@ -122,7 +139,11 @@ func runGenerate(args []string) error {
 	fs.Float64Var(&opts.Skew, "skew", opts.Skew, "value/FK skew exponent (1 = uniform)")
 	fs.Float64Var(&opts.Query.DistinctProb, "distinct", opts.Query.DistinctProb, "P(SELECT DISTINCT)")
 	fs.IntVar(&opts.Query.MaxResultRows, "max-result", opts.Query.MaxResultRows, "reject results larger than this (0 = unlimited)")
+	setupLog := logFormatFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := setupLog(); err != nil {
 		return err
 	}
 
@@ -168,7 +189,11 @@ func runRun(args []string) error {
 	noInject := fs.Bool("no-inject", false, "do not inject the target into the candidate set")
 	requireConverge := fs.Float64("require-converge", 0, "exit non-zero when convergence rate falls below this")
 	allowViolations := fs.Bool("allow-violations", false, "exit zero even when invariants are violated")
+	setupLog := logFormatFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := setupLog(); err != nil {
 		return err
 	}
 
@@ -283,7 +308,11 @@ func runChaos(args []string) error {
 	routerBin := fs.String("router-bin", "", "path to a built qfe-router binary (required with -cluster)")
 	reportPath := fs.String("report", "", "JSON report output file (default BENCH_chaos.json, or BENCH_cluster.json with -cluster)")
 	quiet := fs.Bool("quiet", false, "suppress per-kill progress lines")
+	setupLog := logFormatFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := setupLog(); err != nil {
 		return err
 	}
 	if *serverBin == "" {

@@ -277,6 +277,8 @@ func BatchEvaluateOnJoinedParallel(queries []*Query, col *relation.Columnar, wor
 // rounded up to a multiple of 64: the disjoint-word-write argument above
 // needs block boundaries on word boundaries.
 func batchEvaluate(queries []*Query, col *relation.Columnar, workers, blockRows int) ([]*relation.Relation, error) {
+	mBatchScans.Inc()
+	mBatchQueries.Add(uint64(len(queries)))
 	if workers < 1 {
 		workers = 1
 	}
@@ -471,6 +473,8 @@ const (
 // the block-parallel scan above starts paying. Deltas are byte-identical to
 // DeltaOnJoined per query.
 func BatchDeltaOnJoined(queries []*Query, joined *relation.Relation, modified map[int]relation.Tuple) ([]ResultDelta, error) {
+	mDeltaBatches.Inc()
+	mDeltaQueries.Add(uint64(len(queries)))
 	rows := make([]int, 0, len(modified))
 	for r := range modified {
 		rows = append(rows, r)

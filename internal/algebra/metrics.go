@@ -1,0 +1,17 @@
+package algebra
+
+import "qfe/internal/obs"
+
+// Batch-engine counters (DESIGN.md §13): scans are shared passes over one
+// joined relation; queries counts the candidates answered by those passes.
+// Incremented once per batch call, never per row.
+var (
+	mBatchScans = obs.NewCounter("qfe_engine_batch_scans_total",
+		"Shared columnar batch scans executed.")
+	mBatchQueries = obs.NewCounter("qfe_engine_batch_queries_total",
+		"Candidate queries evaluated via shared batch scans.")
+	mDeltaBatches = obs.NewCounter("qfe_engine_delta_batches_total",
+		"Shared incremental (Lemma 5.1) delta passes executed.")
+	mDeltaQueries = obs.NewCounter("qfe_engine_delta_queries_total",
+		"Candidate queries maintained via shared delta passes.")
+)

@@ -170,13 +170,16 @@ func (m *Monitor) Tick() {
 			continue
 		}
 		if errs[i] != nil {
+			mProbeFailures.Inc()
 			nh.lastErr = errs[i]
 			nh.oks = 0
 			nh.fails++
 			if nh.fails >= m.opts.DeadAfter {
+				observeTransition(nh.state, StateDead)
 				nh.state = StateDead
 				died = append(died, node)
 			} else {
+				observeTransition(nh.state, StateSuspect)
 				nh.state = StateSuspect
 			}
 			continue
@@ -186,6 +189,7 @@ func (m *Monitor) Tick() {
 		case StateSuspect:
 			nh.oks++
 			if nh.oks >= m.opts.RecoverAfter {
+				observeTransition(StateSuspect, StateHealthy)
 				nh.state = StateHealthy
 				nh.lastErr = nil
 				nh.oks = 0

@@ -1,0 +1,60 @@
+package cluster
+
+import "qfe/internal/obs"
+
+// Router-tier handles (DESIGN.md §13). The routerCounters atomics remain the
+// source of truth for /cluster/stats; these obs mirrors expose the same
+// events on /metrics. Per-worker proxy latency histograms are resolved once
+// in NewRouter and stored on each workerState, so the proxy hot path never
+// touches a map.
+var (
+	mProxied = obs.NewCounter("qfe_router_proxied_total",
+		"Client requests accepted for proxying.")
+	mRetries = obs.NewCounter("qfe_router_retries_total",
+		"Upstream proxy attempts beyond the first.")
+	mShed = obs.NewCounter("qfe_router_shed_total",
+		"Requests dropped at a worker's in-flight cap.")
+	mFenced = obs.NewCounter("qfe_router_fenced_total",
+		"Resolutions deferred because the home worker was fenced.")
+	mUnavailable = obs.NewCounter("qfe_router_unavailable_total",
+		"Requests that exhausted the retry budget.")
+	mFailovers = obs.NewCounter("qfe_router_failovers_total",
+		"Workers declared dead (estate handoffs started).")
+	mFailoversDone = obs.NewCounter("qfe_router_failovers_done_total",
+		"Estate handoffs completed (worker removed from the ring).")
+	mAdoptCalls = obs.NewCounter("qfe_router_adopt_calls_total",
+		"/admin/adopt attempts issued during failovers.")
+	mAdoptErrors = obs.NewCounter("qfe_router_adopt_errors_total",
+		"Estate adoptions that exhausted their retries.")
+
+	mProxyLatency = obs.NewHistogramVec("qfe_router_proxy_seconds",
+		"One upstream proxy attempt's latency by worker.",
+		obs.LatencyOpts, "worker")
+
+	mProbeFailures = obs.NewCounter("qfe_router_probe_failures_total",
+		"Health probes that returned an error.")
+
+	// Probe state transitions, pre-resolved per edge of the detector's state
+	// machine (healthy -> suspect -> {healthy, dead}; healthy -> dead covers
+	// DeadAfter=1 configurations).
+	probeTransitions = obs.NewCounterVec("qfe_router_probe_transitions_total",
+		"Failure-detector state transitions.", "from", "to")
+	mHealthySuspect = probeTransitions.With("healthy", "suspect")
+	mSuspectHealthy = probeTransitions.With("suspect", "healthy")
+	mSuspectDead    = probeTransitions.With("suspect", "dead")
+	mHealthyDead    = probeTransitions.With("healthy", "dead")
+)
+
+// observeTransition records one detector edge.
+func observeTransition(from, to NodeState) {
+	switch {
+	case from == StateHealthy && to == StateSuspect:
+		mHealthySuspect.Inc()
+	case from == StateSuspect && to == StateHealthy:
+		mSuspectHealthy.Inc()
+	case from == StateSuspect && to == StateDead:
+		mSuspectDead.Inc()
+	case from == StateHealthy && to == StateDead:
+		mHealthyDead.Inc()
+	}
+}

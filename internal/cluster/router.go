@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qfe/internal/obs"
 	"qfe/internal/retry"
 )
 
@@ -127,6 +128,9 @@ type workerState struct {
 	w        Worker
 	phase    atomic.Int32 // workerPhase; written under Router.mu, read anywhere
 	inflight atomic.Int64
+	// proxyLatency is this worker's pre-resolved attempt-latency histogram
+	// (resolved once in NewRouter; the proxy path does no lookups).
+	proxyLatency *obs.Histogram
 }
 
 func (ws *workerState) getPhase() workerPhase { return workerPhase(ws.phase.Load()) }
@@ -217,6 +221,7 @@ func NewRouter(opts Options) (*Router, error) {
 			StatePath: w.StatePath,
 			WALDir:    w.WALDir,
 		}}
+		ws.proxyLatency = mProxyLatency.With(w.ID)
 		rt.workers[w.ID] = ws
 		rt.ring.Add(w.ID)
 	}
@@ -307,6 +312,7 @@ func (rt *Router) failover(dead string) {
 		return
 	}
 	rt.counters.failovers.Add(1)
+	mFailovers.Inc()
 	ws.phase.Store(int32(phaseFenced))
 	if ws.w.StatePath != "" || ws.w.WALDir != "" {
 		rt.estates = append(rt.estates, Estate{Node: dead, StatePath: ws.w.StatePath, WALDir: ws.w.WALDir})
@@ -334,6 +340,7 @@ func (rt *Router) failover(dead string) {
 	live := rt.liveCountLocked()
 	rt.mu.Unlock()
 	rt.failoversDone.Add(1)
+	mFailoversDone.Inc()
 	rt.opts.Logf("cluster: worker %s removed from ring; %d worker(s) remain routable", dead, live)
 }
 
@@ -349,6 +356,7 @@ func (rt *Router) adoptEstate(t *workerState, e Estate) {
 	pol := retry.Policy{Budget: rt.opts.RetryBudget}
 	err := pol.Do(context.Background(), func() error {
 		rt.counters.adoptCalls.Add(1)
+		mAdoptCalls.Inc()
 		ctx, cancel := context.WithTimeout(context.Background(), rt.opts.AdoptTimeout)
 		defer cancel()
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -378,6 +386,7 @@ func (rt *Router) adoptEstate(t *workerState, e Estate) {
 	})
 	if err != nil {
 		rt.counters.adoptErrors.Add(1)
+		mAdoptErrors.Inc()
 		rt.opts.Logf("cluster: worker %s failed to adopt estate of %s: %v", t.w.ID, e.Node, err)
 	}
 }
@@ -420,11 +429,13 @@ func (rt *Router) resolve(key string, create bool) (*workerState, error) {
 			}
 		}
 		rt.counters.fenced.Add(1)
+		mFenced.Inc()
 		return nil, errFenced
 	}
 	ws := rt.workers[rt.ring.Lookup(key)]
 	if ws.getPhase() != phaseActive {
 		rt.counters.fenced.Add(1)
+		mFenced.Inc()
 		return nil, errFenced
 	}
 	return ws, nil
@@ -436,6 +447,8 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
 		rt.healthz(w, r)
+	case r.URL.Path == "/metrics":
+		obs.Handler().ServeHTTP(w, r)
 	case r.URL.Path == "/cluster/stats":
 		rt.clusterStats(w, r)
 	case r.URL.Path == "/sessions":
@@ -538,10 +551,14 @@ type bufferedResp struct {
 // application errors, passes through to the client.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, key string, create bool, method, path string, body []byte) {
 	rt.counters.proxied.Add(1)
+	mProxied.Inc()
 	var out *bufferedResp
 	pol := retry.Policy{
-		Budget:  rt.opts.RetryBudget,
-		OnRetry: func(int, error, time.Duration) { rt.counters.retries.Add(1) },
+		Budget: rt.opts.RetryBudget,
+		OnRetry: func(int, error, time.Duration) {
+			rt.counters.retries.Add(1)
+			mRetries.Inc()
+		},
 	}
 	err := pol.Do(r.Context(), func() error {
 		ws, err := rt.resolve(key, create)
@@ -552,10 +569,13 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, key string, crea
 			// Shed immediately rather than queue: under overload, fast 503s
 			// with Retry-After keep latency bounded and let clients back off.
 			rt.counters.shed.Add(1)
+			mShed.Inc()
 			return retry.Permanent(errShed)
 		}
 		defer ws.release()
+		t0 := time.Now()
 		resp, err := rt.attempt(r.Context(), ws, method, path, body)
+		ws.proxyLatency.ObserveDuration(time.Since(t0))
 		if err != nil {
 			return err
 		}
@@ -572,6 +592,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, key string, crea
 			return
 		}
 		rt.counters.unavailable.Add(1)
+		mUnavailable.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSONR(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 		return
@@ -597,6 +618,11 @@ func (rt *Router) attempt(ctx context.Context, ws *workerState, method, path str
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the request id minted at the router's front door so the
+	// worker's structured logs carry the same id as the router's.
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	resp, err := rt.opts.Client.Do(req)
 	if err != nil {
@@ -639,10 +665,12 @@ type WorkerInfo struct {
 
 // ClusterStats is the GET /cluster/stats payload.
 type ClusterStats struct {
-	Live     int             `json:"live"`
-	Workers  []WorkerInfo    `json:"workers"`
-	Estates  []Estate        `json:"estates,omitempty"`
-	Counters CounterSnapshot `json:"counters"`
+	Build         obs.Build       `json:"build"`
+	UptimeSeconds float64         `json:"uptimeSeconds"`
+	Live          int             `json:"live"`
+	Workers       []WorkerInfo    `json:"workers"`
+	Estates       []Estate        `json:"estates,omitempty"`
+	Counters      CounterSnapshot `json:"counters"`
 }
 
 // clusterStats reports worker phases, outstanding estates, and counters,
@@ -662,8 +690,10 @@ func (rt *Router) clusterStats(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Unlock()
 
 	out := ClusterStats{
-		Live:    live,
-		Estates: estates,
+		Build:         obs.BuildInfo(),
+		UptimeSeconds: obs.Uptime().Seconds(),
+		Live:          live,
+		Estates:       estates,
 		Counters: CounterSnapshot{
 			Proxied:     rt.counters.proxied.Load(),
 			Retries:     rt.counters.retries.Load(),

@@ -1,0 +1,19 @@
+package core
+
+import "qfe/internal/obs"
+
+// Pre-resolved session-level handles (DESIGN.md §13). Outcome counters are
+// resolved from their vec once, here, never per session.
+var (
+	mSessionRounds = obs.NewSize("qfe_engine_session_rounds",
+		"Feedback rounds to convergence per finished session.")
+	mRoundGen = obs.NewLatency("qfe_engine_round_seconds",
+		"Round production time (join + generator build + Generate).")
+	mSessionOutcomes = obs.NewCounterVec("qfe_engine_sessions_total",
+		"Finished sessions by outcome.", "outcome")
+
+	mOutcomeIdentified = mSessionOutcomes.With("identified")
+	mOutcomeAmbiguous  = mSessionOutcomes.With("ambiguous")
+	mOutcomeNotFound   = mSessionOutcomes.With("notfound")
+	mOutcomeFailed     = mSessionOutcomes.With("failed")
+)

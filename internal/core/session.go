@@ -265,6 +265,7 @@ func (s *Session) Start() (*Round, error) {
 	if err != nil {
 		s.fatal = err
 		s.state = stateDone
+		mOutcomeFailed.Inc()
 		return nil, err
 	}
 	return round, nil
@@ -355,6 +356,7 @@ func (s *Session) Feedback(choice int) (*Round, *Outcome, error) {
 		// terminally failed (not suspended — there is no round to retry).
 		s.fatal = err
 		s.state = stateDone
+		mOutcomeFailed.Inc()
 		return nil, nil, err
 	}
 	if round != nil {
@@ -397,6 +399,7 @@ func (s *Session) advance() (*Round, error) {
 		if s.reps == nil {
 			if s.gi >= len(s.groupKeys) {
 				// Every group exhausted without convergence: not found.
+				mOutcomeNotFound.Inc()
 				s.complete()
 				return nil, nil
 			}
@@ -431,6 +434,7 @@ func (s *Session) advance() (*Round, error) {
 		if err != nil {
 			return nil, err
 		}
+		mRoundGen.ObserveDuration(time.Since(t0))
 		s.seq++
 		s.pendingRes = res
 		s.roundStart = t0
@@ -510,8 +514,10 @@ func (s *Session) finish() {
 	s.out.Remaining = remaining
 	if len(remaining) == 1 {
 		s.out.Query = remaining[0]
+		mOutcomeIdentified.Inc()
 	} else {
 		s.out.Ambiguous = true
+		mOutcomeAmbiguous.Inc()
 	}
 	s.complete()
 }
@@ -519,6 +525,7 @@ func (s *Session) finish() {
 // complete stamps the total time and transitions to the terminal state.
 func (s *Session) complete() {
 	s.out.TotalTime = time.Since(s.started)
+	mSessionRounds.Observe(int64(len(s.out.Iterations)))
 	s.state = stateDone
 	s.pending, s.pendingRes = nil, nil
 }

@@ -127,6 +127,10 @@ type Generator struct {
 	baseResults []*relation.Relation // Q(D) per query (= R for true candidates)
 	srcClasses  []tupleclass.SourceClass
 	srcRows     map[string][]int
+
+	// Algorithm 4 stage times of the latest PickSubsets call (observe-only;
+	// copied into Result by Generate).
+	alg4Enum, alg4Score, alg4TopK time.Duration
 }
 
 // New prepares a generator for the given database, precomputed join,
@@ -146,6 +150,7 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 	// touches them; candidates differing only there surface as ErrNoSplit
 	// (provably indistinguishable within the reachable modification space).
 	space.Freeze(joined.KeyCols)
+	mCandidates.Observe(int64(len(queries)))
 	g := &Generator{DB: d, Joined: joined, Space: space, Queries: queries, R: r, Opts: opts}
 	g.baseResults = make([]*relation.Relation, len(queries))
 	if err := g.evaluateBase(); err != nil {
@@ -180,6 +185,7 @@ func New(d *db.Database, joined *db.Joined, queries []*algebra.Query,
 // key is the bag form's fingerprint, which coincides — correctly, the
 // results are identical — with a structurally equal non-DISTINCT candidate.
 func (g *Generator) evaluateBase() error {
+	defer func(start time.Time) { mBatchEval.ObserveDuration(time.Since(start)) }(time.Now())
 	// Bag-semantics view of the candidate set (clones only for DISTINCT).
 	qs := make([]*algebra.Query, len(g.Queries))
 	for i, q := range g.Queries {
@@ -277,7 +283,12 @@ type Result struct {
 	X               int // Lemma 3.1's x
 	Alg3Time        time.Duration
 	Alg4Time        time.Duration
-	ConcretizeTime  time.Duration
+	// Alg4Time split by pipeline stage (DESIGN.md §10): candidate-set
+	// enumeration, cost-model scoring, and the in-order prune/rank replay.
+	Alg4EnumTime   time.Duration
+	Alg4ScoreTime  time.Duration
+	Alg4TopKTime   time.Duration
+	ConcretizeTime time.Duration
 }
 
 // Generate runs Algorithm 2 end to end and returns a modified database that
@@ -287,6 +298,7 @@ func (g *Generator) Generate() (*Result, error) {
 	t0 := time.Now()
 	sp, stats := g.SkylinePairs()
 	alg3 := time.Since(t0)
+	mSkyline.ObserveDuration(alg3)
 	scanned := false // whether sp already is the unbudgeted scan's output
 	if len(sp) == 0 {
 		// Budgeted enumeration found nothing; do an unbudgeted scan for any
@@ -294,16 +306,19 @@ func (g *Generator) Generate() (*Result, error) {
 		sp = g.anySplittingPairs(64)
 		scanned = true
 		if len(sp) == 0 {
+			mNoSplit.Inc()
 			return nil, ErrNoSplit
 		}
 	}
 	if g.Opts.MaxSkylinePairs > 0 && len(sp) > g.Opts.MaxSkylinePairs {
 		sp = sp[:g.Opts.MaxSkylinePairs]
 	}
+	mSkylinePairs.Observe(int64(len(sp)))
 
 	t1 := time.Now()
 	candidates := g.PickSubsets(sp, stats.X)
 	alg4 := time.Since(t1)
+	mAlg4.ObserveDuration(alg4)
 
 	t2 := time.Now()
 	for _, cand := range candidates {
@@ -325,6 +340,7 @@ func (g *Generator) Generate() (*Result, error) {
 		res.Alg3Time = alg3
 		res.Alg4Time = alg4
 		res.ConcretizeTime = time.Since(t2)
+		g.observeResult(res, t0)
 		return res, nil
 	}
 	// None of the optimal sets was realizable (integrity-constraint
@@ -364,9 +380,22 @@ func (g *Generator) Generate() (*Result, error) {
 		res.Alg3Time = alg3
 		res.Alg4Time = alg4
 		res.ConcretizeTime = time.Since(t2)
+		g.observeResult(res, t0)
 		return res, nil
 	}
+	mNoSplit.Inc()
 	return nil, ErrNoSplit
+}
+
+// observeResult stamps the Algorithm 4 stage breakdown on a successful
+// round's Result and feeds the round-phase metrics.
+func (g *Generator) observeResult(res *Result, start time.Time) {
+	res.Alg4EnumTime = g.alg4Enum
+	res.Alg4ScoreTime = g.alg4Score
+	res.Alg4TopKTime = g.alg4TopK
+	mConcretize.ObserveDuration(res.ConcretizeTime)
+	mRounds.Inc()
+	mGenerate.ObserveDuration(time.Since(start))
 }
 
 // partitionConcrete evaluates every query incrementally against the edits

@@ -4,6 +4,8 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qfe/internal/cost"
 	"qfe/internal/par"
@@ -305,6 +307,13 @@ type scorer struct {
 	workers   int
 	scratches []evalScratch    // one per worker, reused across levels
 	free      chan *childBatch // recycled batches, shared across levels
+
+	// Stage-time attribution in nanoseconds, accumulated across levels and
+	// read once per PickSubsets call (observe-only; never affects control
+	// flow, so determinism is untouched). In the parallel path scoreNs sums
+	// busy time across workers and enumNs includes back-pressure waits —
+	// these are attribution metrics, not a wall-clock decomposition.
+	enumNs, scoreNs, consumeNs atomic.Int64
 }
 
 func newScorer(ctx *evalCtx, workers int) *scorer {
@@ -330,11 +339,22 @@ func (sc *scorer) run(enumerate func(emit func(indices []int, parentBalance floa
 	if sc.workers <= 1 {
 		scr := &sc.scratches[0]
 		var ch scoredChild
+		runStart := time.Now()
+		var scoreNs, consumeNs int64
 		enumerate(func(indices []int, parentBalance float64) {
 			ch = scoredChild{indices: indices, parentBalance: parentBalance}
+			t0 := time.Now()
 			ch.cost, ch.balance, ch.subsets = sc.ctx.evaluate(indices, scr)
+			t1 := time.Now()
 			consume(&ch)
+			consumeNs += int64(time.Since(t1))
+			scoreNs += int64(t1.Sub(t0))
 		})
+		sc.scoreNs.Add(scoreNs)
+		sc.consumeNs.Add(consumeNs)
+		if rest := int64(time.Since(runStart)) - scoreNs - consumeNs; rest > 0 {
+			sc.enumNs.Add(rest)
+		}
 		return
 	}
 
@@ -357,10 +377,12 @@ func (sc *scorer) run(enumerate func(emit func(indices []int, parentBalance floa
 			defer wg.Done()
 			scr := &sc.scratches[worker]
 			for b := range work {
+				t0 := time.Now()
 				for i := range b.items {
 					it := &b.items[i]
 					it.cost, it.balance, it.subsets = sc.ctx.evaluate(it.indices, scr)
 				}
+				sc.scoreNs.Add(int64(time.Since(t0)))
 				b.scored.Done()
 			}
 		}(w)
@@ -378,6 +400,7 @@ func (sc *scorer) run(enumerate func(emit func(indices []int, parentBalance floa
 			return b
 		}
 		cur := next()
+		enumStart := time.Now()
 		enumerate(func(indices []int, parentBalance float64) {
 			cur.items = append(cur.items, scoredChild{indices: indices, parentBalance: parentBalance})
 			if len(cur.items) >= scoreBatchSize {
@@ -386,6 +409,7 @@ func (sc *scorer) run(enumerate func(emit func(indices []int, parentBalance floa
 				cur = next()
 			}
 		})
+		sc.enumNs.Add(int64(time.Since(enumStart)))
 		if len(cur.items) > 0 {
 			work <- cur
 			ordered <- cur
@@ -397,9 +421,11 @@ func (sc *scorer) run(enumerate func(emit func(indices []int, parentBalance floa
 	}()
 	for b := range ordered {
 		b.scored.Wait()
+		t0 := time.Now()
 		for i := range b.items {
 			consume(&b.items[i])
 		}
+		sc.consumeNs.Add(int64(time.Since(t0)))
 		free <- b
 	}
 	wg.Wait()
@@ -574,6 +600,12 @@ func (g *Generator) PickSubsets(sp []ScoredPair, x int) []CandidateSet {
 		}
 		frontier = next
 	}
+	g.alg4Enum = time.Duration(pipe.enumNs.Load())
+	g.alg4Score = time.Duration(pipe.scoreNs.Load())
+	g.alg4TopK = time.Duration(pipe.consumeNs.Load())
+	mAlg4Enumerate.ObserveDuration(g.alg4Enum)
+	mAlg4Score.ObserveDuration(g.alg4Score)
+	mAlg4TopK.ObserveDuration(g.alg4TopK)
 	return best.ranked(sp)
 }
 

@@ -1,0 +1,22 @@
+package evalcache
+
+import "qfe/internal/obs"
+
+// The cache already keeps its own atomic counters for /stats, so its
+// metrics are scrape-time readers over the Default cache — the Get/Put hot
+// path is not touched at all. The hit ratio is derived by the scraper
+// (hits / (hits + misses)), per Prometheus convention.
+func init() {
+	obs.NewCounterFunc("qfe_evalcache_hits_total",
+		"Evaluation-cache hits on the process-wide cache.",
+		func() uint64 { return Default().hits.Load() })
+	obs.NewCounterFunc("qfe_evalcache_misses_total",
+		"Evaluation-cache misses on the process-wide cache.",
+		func() uint64 { return Default().misses.Load() })
+	obs.NewCounterFunc("qfe_evalcache_evictions_total",
+		"Evaluation-cache LRU evictions on the process-wide cache.",
+		func() uint64 { return Default().evictions.Load() })
+	obs.NewGaugeFunc("qfe_evalcache_entries",
+		"Entries currently held by the process-wide evaluation cache.",
+		func() float64 { return float64(Default().Len()) })
+}

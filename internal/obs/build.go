@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Version and Commit identify the build; override at link time:
+//
+//	go build -ldflags "-X qfe/internal/obs.Version=v1.2.3 -X qfe/internal/obs.Commit=$(git rev-parse --short HEAD)"
+//
+// The Makefile does this for every target.
+var (
+	Version = "dev"
+	Commit  = "unknown"
+)
+
+var processStart = time.Now()
+
+// Uptime returns how long this process has been running.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// Build is the JSON-ready build identity stamped into /stats and
+// /cluster/stats payloads.
+type Build struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+}
+
+// BuildInfo returns this process's build identity.
+func BuildInfo() Build { return Build{Version: Version, Commit: Commit} }
+
+func init() {
+	// qfe_build_info follows the Prometheus idiom: constant 1 with the
+	// build identity as labels, so dashboards can join version onto any
+	// other series.
+	NewGaugeVec("qfe_build_info",
+		"Build identity (constant 1; version and commit set via -ldflags).",
+		"version", "commit").With(Version, Commit).Set(1)
+	NewGaugeFunc("qfe_process_uptime_seconds",
+		"Seconds since process start.",
+		func() float64 { return Uptime().Seconds() })
+	NewGaugeFunc("qfe_go_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves net/http/pprof under /debug/pprof/ plus /metrics —
+// the payload behind every binary's -debug-addr flag. It is a separate
+// listener so profiling endpoints are never exposed on the service port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", Handler())
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr in a goroutine (no-op for
+// empty addr). Errors are reported through errf (e.g. slog-backed); the
+// server is best-effort and never takes the process down.
+func ServeDebug(addr string, errf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, DebugHandler()); err != nil && errf != nil {
+			errf("debug server: %v", err)
+		}
+	}()
+}

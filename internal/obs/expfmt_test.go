@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition of a small,
+// fully-controlled registry (a fresh one — Default() carries the package's
+// init-registered build metrics, whose values vary by build).
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_requests_total", "Total requests.").Add(3)
+	reg.Gauge("t_inflight", "In flight.").Set(2)
+	reg.GaugeFunc("t_uptime", "Uptime.", func() float64 { return 1.5 })
+	h := reg.Histogram("t_size", "Sizes.", HistogramOpts{MinExp: 0, MaxExp: 2})
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	cv := reg.CounterVec("t_by_route", "By route.", "route")
+	cv.With("/a").Inc()
+	cv.With("/b").Add(2)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	want := `# HELP t_by_route By route.
+# TYPE t_by_route counter
+t_by_route{route="/a"} 1
+t_by_route{route="/b"} 2
+# HELP t_inflight In flight.
+# TYPE t_inflight gauge
+t_inflight 2
+# HELP t_requests_total Total requests.
+# TYPE t_requests_total counter
+t_requests_total 3
+# HELP t_size Sizes.
+# TYPE t_size histogram
+t_size_bucket{le="1"} 1
+t_size_bucket{le="2"} 2
+t_size_bucket{le="4"} 3
+t_size_bucket{le="+Inf"} 4
+t_size_sum 106
+t_size_count 4
+# HELP t_uptime Uptime.
+# TYPE t_uptime gauge
+t_uptime 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusLatencyScaling(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_seconds", "Latency.", LatencyOpts)
+	h.Observe(1000) // 1µs in ns -> first bucket (le = 2^10 / 1e9)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `t_seconds_bucket{le="1.024e-06"} 1`) {
+		t.Errorf("first latency bucket not scaled to seconds:\n%s", out)
+	}
+	if !strings.Contains(out, "t_seconds_sum 1e-06\n") {
+		t.Errorf("latency sum not scaled to seconds:\n%s", out)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("t_esc", "help with \"quotes\" and\nnewline", "l").
+		With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `# HELP t_esc help with "quotes" and\nnewline`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `t_esc{l="a\"b\\c\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_total", "T.").Add(7)
+	h := reg.Histogram("t_sizes", "S.", HistogramOpts{MinExp: 0, MaxExp: 4})
+	for i := int64(1); i <= 10; i++ {
+		h.Observe(i)
+	}
+	reg.GaugeVec("t_info", "I.", "version").With("v1").Set(1)
+
+	var b strings.Builder
+	reg.WriteJSON(&b)
+	var out []MetricJSON
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, b.String())
+	}
+	byName := map[string]MetricJSON{}
+	for _, m := range out {
+		byName[m.Name] = m
+	}
+	if m := byName["t_total"]; m.Type != "counter" || m.Value == nil || *m.Value != 7 {
+		t.Errorf("t_total = %+v, want counter 7", m)
+	}
+	hist := byName["t_sizes"]
+	if hist.Count == nil || *hist.Count != 10 || hist.Sum == nil || *hist.Sum != 55 {
+		t.Errorf("t_sizes = %+v, want count 10 sum 55", hist)
+	}
+	if len(hist.Buckets) == 0 || hist.Quantiles == nil {
+		t.Errorf("t_sizes missing buckets/quantiles: %+v", hist)
+	}
+	if m := byName["t_info"]; m.Labels["version"] != "v1" {
+		t.Errorf("t_info labels = %v, want version=v1", m.Labels)
+	}
+}

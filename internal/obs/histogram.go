@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Unit tells the exposition layer how to scale a histogram's raw values.
+type Unit uint8
+
+const (
+	// UnitNone exposes raw observed values (sizes, counts).
+	UnitNone Unit = iota
+	// UnitSeconds means values are observed in nanoseconds and exposed in
+	// seconds (the Prometheus base unit for time).
+	UnitSeconds
+)
+
+// HistogramOpts fixes a histogram's bucket layout: one bucket per power of
+// two from 2^MinExp up to 2^MaxExp, plus a +Inf overflow bucket. Log₂
+// spacing gives constant relative error (~2×) across the whole range with a
+// fixed, small footprint and an O(1) branch-free bucket index.
+type HistogramOpts struct {
+	MinExp int  // lowest bucket upper bound is 2^MinExp
+	MaxExp int  // highest finite bucket upper bound is 2^MaxExp
+	Unit   Unit // scaling applied at exposition time
+}
+
+// LatencyOpts covers ~1µs (2^10 ns) to ~34s (2^35 ns), exposed in seconds —
+// the default for every *_seconds histogram in the repo.
+var LatencyOpts = HistogramOpts{MinExp: 10, MaxExp: 35, Unit: UnitSeconds}
+
+// SizeOpts covers 1 to 2^30 for cardinalities and byte counts.
+var SizeOpts = HistogramOpts{MinExp: 0, MaxExp: 30}
+
+// Histogram counts observations into log₂ buckets. Observe is wait-free:
+// one bits.Len64, two atomic adds, no allocation — safe on the engine's
+// per-round hot path.
+type Histogram struct {
+	minExp, maxExp int
+	unit           Unit
+	buckets        []atomic.Uint64 // len = maxExp-minExp+1 finite + 1 overflow
+	sum            atomic.Int64    // raw units (ns for UnitSeconds)
+	count          atomic.Uint64
+}
+
+func newHistogram(o HistogramOpts) *Histogram {
+	if o.MaxExp < o.MinExp {
+		o.MaxExp = o.MinExp
+	}
+	return &Histogram{
+		minExp:  o.MinExp,
+		maxExp:  o.MaxExp,
+		unit:    o.Unit,
+		buckets: make([]atomic.Uint64, o.MaxExp-o.MinExp+2),
+	}
+}
+
+// Observe records v (clamped below at 0). For v >= 1 the bucket exponent is
+// bits.Len64(v-1): the smallest e with v <= 2^e. Values past 2^maxExp land
+// in the +Inf overflow bucket; v <= 2^minExp lands in the first bucket.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	var e int
+	if v > 1 {
+		e = bits.Len64(uint64(v - 1))
+	}
+	slot := e - h.minExp
+	if slot < 0 {
+		slot = 0
+	}
+	if slot >= len(h.buckets) {
+		slot = len(h.buckets) - 1
+	}
+	h.buckets[slot].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records d in nanoseconds (pair with UnitSeconds).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of raw observed values (ns for UnitSeconds).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// upperBound returns the raw-unit upper bound of finite bucket i.
+func (h *Histogram) upperBound(i int) float64 {
+	return math.Ldexp(1, h.minExp+i)
+}
+
+// scale converts a raw-unit value to exposition units.
+func (h *Histogram) scale(v float64) float64 {
+	if h.unit == UnitSeconds {
+		return v / 1e9
+	}
+	return v
+}
+
+// snapshotBuckets loads all bucket counts at once (not atomic as a set, but
+// each counter is monotone so cumulative sums stay monotone too).
+func (h *Histogram) snapshotBuckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in exposition units by
+// linear interpolation inside the containing bucket (lower edge 0 for the
+// first, 2× span otherwise). Returns 0 when empty; +Inf-bucket hits return
+// the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.snapshotBuckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(counts)-1 {
+			if i == len(counts)-1 && i > 0 {
+				// Overflow bucket: no finite upper edge to interpolate to.
+				return h.scale(h.upperBound(i - 1))
+			}
+			hi := h.upperBound(i)
+			lo := 0.0
+			if i > 0 {
+				lo = h.upperBound(i - 1)
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return h.scale(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return h.scale(h.upperBound(len(counts) - 2))
+}

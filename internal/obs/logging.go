@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// LogFormat selects the slog handler flavour behind the shared
+// -log-format flag on every binary.
+type LogFormat string
+
+// Log formats accepted by -log-format.
+const (
+	LogText LogFormat = "text"
+	LogJSON LogFormat = "json"
+)
+
+// ParseLogFormat validates a -log-format flag value.
+func ParseLogFormat(s string) (LogFormat, error) {
+	switch LogFormat(s) {
+	case LogText, LogJSON:
+		return LogFormat(s), nil
+	}
+	return "", fmt.Errorf("bad log format %q (want %q or %q)", s, LogText, LogJSON)
+}
+
+// NewLogger builds a slog.Logger writing to w in the given format.
+func NewLogger(format LogFormat, w io.Writer) *slog.Logger {
+	var h slog.Handler
+	switch format {
+	case LogJSON:
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}
+
+// SetupLogger builds a logger and installs it as the slog default, so
+// libraries that call slog.Info directly use the same handler.
+func SetupLogger(format LogFormat, w io.Writer) *slog.Logger {
+	l := NewLogger(format, w)
+	slog.SetDefault(l)
+	return l
+}

@@ -118,15 +118,18 @@ func (p Policy) Do(ctx context.Context, fn func() error) error {
 			return perm.err
 		}
 		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			mGiveups.Inc()
 			return err
 		}
 		delay := time.Duration(p.Rand() * float64(ceiling))
 		if p.Budget > 0 && p.Now().Sub(start)+delay > p.Budget {
+			mGiveups.Inc()
 			return err
 		}
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err, delay)
 		}
+		mRetriesScheduled.Inc()
 		if serr := p.Sleep(ctx, delay); serr != nil {
 			return fmt.Errorf("%w (last attempt: %v)", serr, err)
 		}

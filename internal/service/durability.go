@@ -171,6 +171,9 @@ func (m *Manager) Recover(snapshotPath, walDir string) (RecoveryStats, error) {
 	m.replayed.Add(uint64(stats.ReplaySessions))
 	m.recordsReplayed.Add(uint64(stats.RecordsApplied))
 	m.recoveryNs.Store(stats.DurationNs)
+	mReplayed.Add(uint64(stats.ReplaySessions))
+	mReplayApplied.Add(uint64(stats.RecordsApplied))
+	mRecovery.Observe(stats.DurationNs)
 	return stats, nil
 }
 
@@ -373,6 +376,7 @@ func (m *Manager) Checkpoint(path string) (int, error) {
 	if path == "" {
 		return 0, nil
 	}
+	defer func(start time.Time) { mCheckpoint.ObserveDuration(time.Since(start)) }(time.Now())
 	var boundary uint64
 	if m.opts.Journal != nil {
 		b, err := m.opts.Journal.Rotate()
@@ -394,5 +398,6 @@ func (m *Manager) Checkpoint(path string) (int, error) {
 			return len(state.Sessions), fmt.Errorf("service: checkpoint: truncate: %w", err)
 		}
 	}
+	mCheckpointSessions.Observe(int64(len(state.Sessions)))
 	return len(state.Sessions), nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"qfe/internal/datasets"
 	"qfe/internal/db"
 	"qfe/internal/feedback"
+	"qfe/internal/obs"
 	"qfe/internal/qbo"
 	"qfe/internal/relation"
 )
@@ -35,6 +37,9 @@ type HandlerOptions struct {
 	// adopted sessions are covered by this node's snapshot+WAL from then on
 	// (a later failover of this node hands off self-contained state).
 	StatePath string
+	// Logger receives one structured access-log line per request (nil =
+	// slog.Default()).
+	Logger *slog.Logger
 }
 
 // NewHandler wraps a Manager in the qfe-server HTTP/JSON API:
@@ -63,10 +68,47 @@ func NewHandler(m *Manager, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("/sessions/", h.session)
 	mux.HandleFunc("/stats", h.stats)
 	mux.HandleFunc("/healthz", h.healthz)
+	mux.Handle("/metrics", obs.Handler())
 	if opts.EnableAdmin {
 		mux.HandleFunc("/admin/adopt", h.adopt)
 	}
-	return mux
+	return obs.Middleware(mux, obs.MiddlewareOptions{
+		Routes: []string{
+			"/sessions", "/sessions/{id}", "/sessions/{id}/feedback",
+			"/stats", "/healthz", "/metrics", "/admin/adopt",
+		},
+		RouteFor:     routeFor,
+		SessionIDFor: sessionIDFor,
+		Logger:       opts.Logger,
+	})
+}
+
+// routeFor maps a request path to its route template so per-route metrics
+// stay bounded-cardinality (session ids never become label values).
+func routeFor(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/sessions", p == "/stats", p == "/healthz", p == "/metrics",
+		p == "/admin/adopt":
+		return p
+	case strings.HasPrefix(p, "/sessions/"):
+		rest := strings.TrimPrefix(p, "/sessions/")
+		if _, sub, _ := strings.Cut(rest, "/"); sub == "feedback" {
+			return "/sessions/{id}/feedback"
+		}
+		return "/sessions/{id}"
+	}
+	return ""
+}
+
+// sessionIDFor extracts the session id from /sessions/{id}[...] paths for
+// structured log attribution.
+func sessionIDFor(r *http.Request) string {
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/sessions/"); ok {
+		id, _, _ := strings.Cut(rest, "/")
+		return id
+	}
+	return ""
 }
 
 type httpAPI struct {

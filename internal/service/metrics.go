@@ -1,0 +1,35 @@
+package service
+
+import "qfe/internal/obs"
+
+// Service-tier handles (DESIGN.md §13): cumulative counters across every
+// Manager in the process (the server runs exactly one; tests may run many,
+// which only makes the process totals larger). The resident/live session
+// gauges are registered by cmd/qfe-server against its single Manager —
+// registering per-Manager funcs here would alias test instances.
+var (
+	mStarted = obs.NewCounter("qfe_sessions_started_total",
+		"Sessions created and started.")
+	mFinished = obs.NewCounter("qfe_sessions_finished_total",
+		"Sessions that reached an outcome.")
+	mEvicted = obs.NewCounter("qfe_sessions_evicted_total",
+		"Sessions evicted (TTL expiry or live-session cap).")
+	mAbandoned = obs.NewCounter("qfe_sessions_abandoned_total",
+		"Live sessions deleted by the client.")
+	mDeadSessions = obs.NewCounter("qfe_sessions_dead_total",
+		"Sessions killed by a fatal engine error.")
+	mRoundsServed = obs.NewCounter("qfe_service_rounds_served_total",
+		"Feedback rounds produced and handed to clients.")
+	mRestored = obs.NewCounter("qfe_sessions_restored_total",
+		"Sessions restored from snapshots (Load / estate adoption).")
+	mReplayed = obs.NewCounter("qfe_sessions_replayed_total",
+		"Sessions rebuilt or advanced by WAL replay during recovery.")
+	mReplayApplied = obs.NewCounter("qfe_recovery_records_applied_total",
+		"WAL records that changed state during recovery replay.")
+	mRecovery = obs.NewLatency("qfe_recovery_seconds",
+		"Wall time of Recover (snapshot load + WAL replay).")
+	mCheckpoint = obs.NewLatency("qfe_checkpoint_seconds",
+		"Wall time of Checkpoint (rotate + snapshot + truncate).")
+	mCheckpointSessions = obs.NewSize("qfe_checkpoint_sessions",
+		"Sessions persisted per checkpoint.")
+)

@@ -28,6 +28,7 @@ import (
 	"qfe/internal/core"
 	"qfe/internal/db"
 	"qfe/internal/evalcache"
+	"qfe/internal/obs"
 	"qfe/internal/relation"
 	"qfe/internal/wal"
 )
@@ -203,6 +204,7 @@ func (m *Manager) CreateWithID(id string, d *db.Database, r *relation.Relation, 
 	m.sessions[h.id] = h
 	m.mu.Unlock()
 	m.started.Add(1)
+	mStarted.Inc()
 
 	round, err := sess.Start()
 	if err != nil {
@@ -214,8 +216,10 @@ func (m *Manager) CreateWithID(id string, d *db.Database, r *relation.Relation, 
 		h.outcome, _ = sess.Outcome()
 		h.done.Store(true)
 		m.finished.Add(1)
+		mFinished.Inc()
 	} else {
 		m.roundsServed.Add(1)
+		mRoundsServed.Inc()
 	}
 	// Write-ahead: the creation (with everything replay needs to rebuild
 	// the session from scratch) must be durable before the client learns
@@ -323,6 +327,7 @@ func (m *Manager) FeedbackAt(id string, seq, choice int) (Status, error) {
 		}
 		h.dead = fmt.Errorf("%w: session %s: %v", ErrDead, id, err)
 		h.done.Store(true)
+		mDeadSessions.Inc()
 		// Best-effort tombstone so recovery can skip replaying a session
 		// that is known dead. Replaying without it reproduces the same
 		// deterministic failure, so a lost append here is harmless.
@@ -332,10 +337,12 @@ func (m *Manager) FeedbackAt(id string, seq, choice int) (Status, error) {
 	h.round = round
 	if round != nil {
 		m.roundsServed.Add(1)
+		mRoundsServed.Inc()
 	} else {
 		h.outcome = outcome
 		h.done.Store(true)
 		m.finished.Add(1)
+		mFinished.Inc()
 	}
 	// Write-ahead contract: the accepted transition is durable before it is
 	// acknowledged. A journal failure reports an error (the client must not
@@ -367,6 +374,7 @@ func (m *Manager) Abandon(id string) error {
 	}
 	if !h.done.Load() {
 		m.abandoned.Add(1)
+		mAbandoned.Inc()
 	}
 	m.journalAppend(wal.Record{Type: wal.TypeAbandoned, ID: id, UnixNs: m.nowNs()})
 	return nil
@@ -410,6 +418,7 @@ func (m *Manager) evictExpiredLocked(now time.Time) {
 		if now.Sub(h.lastUsed) > m.opts.TTL {
 			delete(m.sessions, id)
 			m.evicted.Add(1)
+			mEvicted.Inc()
 		}
 	}
 }
@@ -427,6 +436,12 @@ func (m *Manager) EvictExpired() int {
 // Stats is a snapshot of the manager's counters plus the effectiveness of
 // the shared evaluation cache backing the sessions' generators.
 type Stats struct {
+	// Build identity and process uptime (PR 9): which binary is serving, and
+	// for how long — the same facts qfe_build_info / qfe_process_uptime_seconds
+	// expose to scrapers.
+	Build         obs.Build `json:"build"`
+	UptimeSeconds float64   `json:"uptimeSeconds"`
+
 	Resident int `json:"resident"` // sessions currently held
 	Live     int `json:"live"`     // resident and unfinished
 
@@ -499,6 +514,21 @@ func (m *Manager) Health() HealthStatus {
 	return hs
 }
 
+// Resident returns the number of sessions currently held — a cheap
+// accessor for scrape-time gauges (no WAL probe, unlike Health).
+func (m *Manager) Resident() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Live returns the number of resident, unfinished sessions.
+func (m *Manager) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.liveLocked()
+}
+
 // Stats returns current counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
@@ -506,6 +536,8 @@ func (m *Manager) Stats() Stats {
 	live := m.liveLocked()
 	m.mu.Unlock()
 	return Stats{
+		Build:              obs.BuildInfo(),
+		UptimeSeconds:      obs.Uptime().Seconds(),
 		Resident:           resident,
 		Live:               live,
 		SessionsStarted:    m.started.Load(),
@@ -685,6 +717,7 @@ func (m *Manager) Load(r io.Reader) (int, []error) {
 		m.sessions[ss.ID] = h
 		m.mu.Unlock()
 		m.restored.Add(1)
+		mRestored.Inc()
 		n++
 	}
 	m.mu.Lock()
@@ -718,6 +751,7 @@ func (m *Manager) enforceCapLocked() int {
 		}
 		delete(m.sessions, victim)
 		m.evicted.Add(1)
+		mEvicted.Inc()
 		dropped++
 	}
 	return dropped

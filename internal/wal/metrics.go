@@ -1,0 +1,37 @@
+package wal
+
+import (
+	"time"
+
+	"qfe/internal/obs"
+)
+
+// WAL durability metrics (DESIGN.md §13). Append time excludes the fsync so
+// the two histograms decompose an acknowledged write: encode+write vs.
+// stable-storage latency. The segment-bytes gauge tracks the active segment
+// (rotation resets it); all processes' logs share the handles — the series
+// aggregate over every open Log in the process, which in the server is one.
+var (
+	mAppend = obs.NewLatency("qfe_wal_append_seconds",
+		"WAL record batch encode+write latency (excluding fsync).")
+	mFsync = obs.NewLatency("qfe_wal_fsync_seconds",
+		"WAL fsync latency (per-append under SyncAlways, else per flush).")
+	mRecords = obs.NewCounter("qfe_wal_records_total",
+		"WAL records appended.")
+	mBytes = obs.NewCounter("qfe_wal_bytes_total",
+		"WAL bytes appended (headers + payloads).")
+	mRotations = obs.NewCounter("qfe_wal_rotations_total",
+		"WAL segment rotations (including the segment opened by Open).")
+	mSegmentBytes = obs.NewGauge("qfe_wal_segment_bytes",
+		"Bytes written to the currently active WAL segment.")
+	mReplayRecords = obs.NewCounter("qfe_wal_replay_records_total",
+		"Valid WAL records delivered by Replay across recoveries.")
+)
+
+// syncTimed wraps an fsync of the active segment with the latency histogram.
+func (l *Log) syncTimed() error {
+	start := time.Now()
+	err := l.f.Sync()
+	mFsync.ObserveDuration(time.Since(start))
+	return err
+}

@@ -219,6 +219,8 @@ func (l *Log) openSegmentLocked(idx uint64) error {
 	l.f = f
 	l.seg = idx
 	l.size = int64(len(segMagic))
+	mRotations.Inc()
+	mSegmentBytes.Set(l.size)
 	return nil
 }
 
@@ -242,6 +244,7 @@ func (l *Log) Append(recs ...Record) error {
 		buf = append(buf, hdr[:]...)
 		buf = append(buf, payload...)
 	}
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -258,8 +261,12 @@ func (l *Log) Append(recs ...Record) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(len(buf))
+	mAppend.ObserveDuration(time.Since(start))
+	mRecords.Add(uint64(len(recs)))
+	mBytes.Add(uint64(len(buf)))
+	mSegmentBytes.Set(l.size)
 	if l.opts.Sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncTimed(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
@@ -273,7 +280,7 @@ func (l *Log) Sync() error {
 	if l.closed || l.f == nil {
 		return nil
 	}
-	return l.f.Sync()
+	return l.syncTimed()
 }
 
 // Ping probes the log's ability to durably accept appends — the health
@@ -287,7 +294,7 @@ func (l *Log) Ping() error {
 	if l.closed || l.f == nil {
 		return fmt.Errorf("wal: log closed")
 	}
-	return l.f.Sync()
+	return l.syncTimed()
 }
 
 // syncLoop is SyncInterval's background flusher.
@@ -470,6 +477,7 @@ func replaySegment(path string, stats *ReplayStats, fn func(Record) error) (bad 
 		}
 		off += 8 + int64(n)
 		stats.Records++
+		mReplayRecords.Inc()
 		if err := fn(rec); err != nil {
 			return false, 0, err
 		}

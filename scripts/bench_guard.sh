@@ -32,7 +32,19 @@ SPEEDUP_MIN_CPUS=8
 SESSION_MAX_RATIO_PCT=45
 ALG4_MAX_RATIO_PCT=67
 
-# --- gate 1: allocations ----------------------------------------------------
+# --- gate 0: obs hot-path contract ------------------------------------------
+
+# The metrics layer promises zero allocations per increment (internal/obs
+# doc comment); gate 1 below then measures the full session WITH that
+# instrumentation live, so an obs regression would show up twice. Run the
+# contract test first for a precise failure message.
+go test -run TestHotPathZeroAllocs -count=1 ./internal/obs >/dev/null || {
+    echo "bench_guard: FAIL — obs hot-path allocation contract broken (go test -run TestHotPathZeroAllocs ./internal/obs)" >&2
+    exit 1
+}
+echo "bench_guard: obs hot-path zero-alloc contract OK"
+
+# --- gate 1: allocations (instrumented build) --------------------------------
 
 # -cpu 1 pins the measurement: allocs/op grows a few percent with
 # GOMAXPROCS (per-worker scratch, per-P pools), so recorded baselines and
