@@ -12,7 +12,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -ldflags "-X qfe/internal/obs.Version=$(VERSION) -X qfe/internal/obs.Commit=$(COMMIT)"
 
-.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke chaos chaos-smoke cluster cluster-smoke metrics-smoke
+.PHONY: build test race test-parallel bench bench-micro bench-batch bench-guard sim sim-smoke chaos chaos-smoke fault-smoke cluster cluster-smoke metrics-smoke
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -79,14 +79,32 @@ chaos-smoke:
 		-server-bin /tmp/qfe-server -sessions 24 -workers 4 -kills 3 -seed 7 \
 		-report /tmp/qfe-chaos-smoke-report.json
 
+# Fault-injection gate (CI): the chaos harness plus a seeded deterministic
+# fault schedule — torn write, EIO, an ENOSPC window (degraded read-only
+# mode + auto-recovery), an fsync stall, an inbound partition, injected
+# latency and a dropped response — on top of the SIGKILLs. Fails on any
+# lost acknowledged session or outcome mismatch, and on vacuity: the run
+# must observe injected WAL append errors and a degraded-mode round trip
+# (DESIGN.md §14).
+fault-smoke:
+	$(GO) build -o /tmp/qfe-server ./cmd/qfe-server
+	$(GO) run ./cmd/qfe-sim generate -n 12 -seed 7 -out /tmp/qfe-chaos-smoke.jsonl
+	$(GO) run ./cmd/qfe-sim chaos -corpus /tmp/qfe-chaos-smoke.jsonl \
+		-server-bin /tmp/qfe-server -sessions 24 -workers 4 -kills 2 -seed 7 \
+		-fault-schedule seed:7 \
+		-report /tmp/qfe-fault-smoke-report.json
+
 # Full chaos run recorded as BENCH_chaos.json (EXPERIMENTS.md): 80 sessions
 # (>=50 complete after skipping non-reproducible scenarios), 6 SIGKILL+
-# restart cycles at progress-randomized points.
+# restart cycles at progress-randomized points, plus the seeded fault
+# schedule (torn write, EIO, ENOSPC degraded-mode window, fsync stall,
+# partition, latency, response drop) injected throughout the kill pass.
 chaos:
 	$(GO) build -o /tmp/qfe-server ./cmd/qfe-server
 	$(GO) run ./cmd/qfe-sim generate -n 20 -seed 1 -out corpus_chaos.jsonl
 	$(GO) run ./cmd/qfe-sim chaos -corpus corpus_chaos.jsonl \
 		-server-bin /tmp/qfe-server -sessions 80 -workers 8 -kills 6 -seed 1 \
+		-fault-schedule seed:1 \
 		-report BENCH_chaos.json
 
 # Cluster failover gate (CI): 3 qfe-server workers behind qfe-router; one

@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"qfe/internal/cluster"
+	"qfe/internal/fault"
 	"qfe/internal/obs"
+	"qfe/internal/retry"
 )
 
 // workerFlags collects repeated -worker definitions.
@@ -78,6 +80,9 @@ func main() {
 		maxInflight   = flag.Int64("max-inflight", 64, "per-worker concurrent request cap (503 + Retry-After beyond)")
 		retryBudget   = flag.Duration("retry-budget", 30*time.Second, "total retry time per proxied request (must cover failover)")
 		callTimeout   = flag.Duration("call-timeout", 2*time.Minute, "per-attempt upstream timeout")
+		breakThresh   = flag.Int("breaker-threshold", 5, "consecutive upstream failures that trip a worker's circuit breaker (-1 disables)")
+		breakCooldown = flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker refuses attempts before a half-open probe")
+		faultSpec     = flag.String("fault-schedule", "", "deterministic fault injection on upstream calls: schedule JSON file or seed:N (testing only)")
 		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (empty = off)")
 	)
@@ -100,15 +105,36 @@ func main() {
 		logger.Error(fmt.Sprintf(format, args...))
 	})
 
+	// Optional injected faults on the upstream (router -> worker) path: the
+	// schedule's outbound network faults wrap the shared client transport.
+	var client *http.Client
+	if *faultSpec != "" {
+		sched, err := fault.Load(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qfe-router: bad -fault-schedule:", err)
+			os.Exit(1)
+		}
+		logger.Warn("fault injection armed on upstream calls",
+			"spec", *faultSpec, "network", len(sched.Network))
+		base := retry.HTTPClientPerRequest()
+		base.Transport = fault.NewTransport(base.Transport, sched, func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		})
+		client = base
+	}
+
 	rt, err := cluster.NewRouter(cluster.Options{
-		Workers:       workers,
-		VirtualNodes:  *vnodes,
-		ProbeInterval: *probeInterval,
-		DeadAfter:     *deadAfter,
-		RecoverAfter:  *recoverAfter,
-		MaxInflight:   *maxInflight,
-		RetryBudget:   *retryBudget,
-		CallTimeout:   *callTimeout,
+		Workers:          workers,
+		VirtualNodes:     *vnodes,
+		ProbeInterval:    *probeInterval,
+		DeadAfter:        *deadAfter,
+		RecoverAfter:     *recoverAfter,
+		MaxInflight:      *maxInflight,
+		RetryBudget:      *retryBudget,
+		CallTimeout:      *callTimeout,
+		BreakerThreshold: *breakThresh,
+		BreakerCooldown:  *breakCooldown,
+		Client:           client,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},

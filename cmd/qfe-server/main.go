@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"qfe/internal/core"
+	"qfe/internal/fault"
 	"qfe/internal/obs"
 	"qfe/internal/service"
 	"qfe/internal/wal"
@@ -67,6 +68,8 @@ func main() {
 		walSegBytes  = flag.Int64("wal-segment-bytes", 4<<20, "rotate WAL segments beyond this size")
 		checkpoint   = flag.Duration("checkpoint", time.Minute, "snapshot + WAL truncation cadence (needs -state; 0 disables)")
 		pairBudget   = flag.Int("pair-budget", 0, "deterministic generator budget in candidate pairs (0 = wall-clock default; forced to 100000 under -wal)")
+
+		faultSpec = flag.String("fault-schedule", "", "deterministic fault injection: schedule JSON file or seed:N (testing only)")
 
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (empty = off)")
@@ -100,22 +103,54 @@ func main() {
 		logger.Info("-wal forces deterministic generator budget", "pairs", 100000)
 	}
 
-	var journal *wal.Log
+	// The injected fault plane (testing only): scripted storage faults ride
+	// the journal, scripted inbound network faults ride the listener.
+	var sched *fault.Schedule
+	if *faultSpec != "" {
+		var err error
+		if sched, err = fault.Load(*faultSpec); err != nil {
+			logger.Error("bad -fault-schedule", "err", err)
+			os.Exit(1)
+		}
+		logger.Warn("fault injection armed",
+			"spec", *faultSpec, "storage", len(sched.Storage), "network", len(sched.Network))
+	}
+	faultLogf := func(format string, args ...any) {
+		logger.Warn(fmt.Sprintf(format, args...))
+	}
+
+	// journal is assigned only when a log is actually open — a nil *wal.Log
+	// stuffed into the interface would read as non-nil to the service tier.
+	var (
+		journal       service.Journal
+		journalCloser interface{ Close() error }
+	)
 	if *walDir != "" {
 		pol, err := wal.ParseSyncPolicy(*walSync)
 		if err != nil {
 			logger.Error("bad -wal-sync", "err", err)
 			os.Exit(1)
 		}
-		journal, err = wal.Open(wal.Options{
+		wopts := wal.Options{
 			Dir:          *walDir,
 			SegmentBytes: *walSegBytes,
 			Sync:         pol,
 			SyncInterval: *walSyncEvery,
-		})
-		if err != nil {
-			logger.Error("wal open failed", "dir", *walDir, "err", err)
-			os.Exit(1)
+		}
+		if sched.HasStorage() {
+			fj, err := fault.OpenJournal(wopts, sched, faultLogf)
+			if err != nil {
+				logger.Error("wal open failed", "dir", *walDir, "err", err)
+				os.Exit(1)
+			}
+			journal, journalCloser = fj, fj
+		} else {
+			l, err := wal.Open(wopts)
+			if err != nil {
+				logger.Error("wal open failed", "dir", *walDir, "err", err)
+				os.Exit(1)
+			}
+			journal, journalCloser = l, l
 		}
 	}
 
@@ -221,6 +256,10 @@ func main() {
 		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
+	var serveLn net.Listener = ln
+	if sched.HasNetwork(fault.SideInbound) {
+		serveLn = fault.NewListener(ln, sched, faultLogf)
+	}
 
 	done := make(chan struct{})
 	sig := make(chan os.Signal, 1)
@@ -241,8 +280,8 @@ func main() {
 				logger.Info("saved sessions", "count", n, "path", *statePath)
 			}
 		}
-		if journal != nil {
-			if err := journal.Close(); err != nil {
+		if journalCloser != nil {
+			if err := journalCloser.Close(); err != nil {
 				logger.Error("wal close", "err", err)
 			}
 		}
@@ -252,7 +291,7 @@ func main() {
 	// Print the bound address (not the flag): -addr with port 0 lets test
 	// harnesses pick a free port and parse it from this line.
 	fmt.Printf("qfe-server: listening on %s (ttl %s, max %d sessions)\n", ln.Addr(), *ttl, *maxSessions)
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	if err := srv.Serve(serveLn); err != nil && err != http.ErrServerClosed {
 		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}

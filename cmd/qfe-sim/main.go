@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"qfe/internal/fault"
 	"qfe/internal/obs"
 	"qfe/internal/scenario"
 	"qfe/internal/simulate"
@@ -306,6 +307,7 @@ func runChaos(args []string) error {
 	maxCand := fs.Int("max-candidates", 16, "candidate-set size cap per session")
 	cluster := fs.Int("cluster", 0, "run against an N-worker cluster behind qfe-router (0 = single node)")
 	routerBin := fs.String("router-bin", "", "path to a built qfe-router binary (required with -cluster)")
+	faultSpec := fs.String("fault-schedule", "", "inject scripted faults during the chaos pass: schedule JSON file or seed:N (single-node mode)")
 	reportPath := fs.String("report", "", "JSON report output file (default BENCH_chaos.json, or BENCH_cluster.json with -cluster)")
 	quiet := fs.Bool("quiet", false, "suppress per-kill progress lines")
 	setupLog := logFormatFlag(fs)
@@ -371,6 +373,16 @@ func runChaos(args []string) error {
 		MaxCandidates: *maxCand,
 		Log:           log,
 	}
+	if *faultSpec != "" {
+		if *cluster > 0 {
+			return fmt.Errorf("chaos: -fault-schedule is single-node only (cluster workers each need their own schedule)")
+		}
+		sched, err := fault.Load(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		chaosOpts.Faults = sched
+	}
 	if *cluster > 0 {
 		return runClusterChaos(simulate.ClusterChaosOptions{
 			ChaosOptions: chaosOpts,
@@ -382,6 +394,7 @@ func runChaos(args []string) error {
 	if err != nil {
 		return err
 	}
+	rep.FaultSpec = *faultSpec
 
 	out, err := os.Create(*reportPath)
 	if err != nil {
@@ -404,6 +417,10 @@ func runChaos(args []string) error {
 	fmt.Printf("recovered %d from snapshots + %d via replay (%d WAL records); recovery max %s, total %s\n",
 		rep.SessionsRestored, rep.SessionsReplayed, rep.WALRecordsReplayed,
 		time.Duration(rep.RecoveryMaxNs), time.Duration(rep.RecoveryTotalNs))
+	if chaosOpts.Faults != nil {
+		fmt.Printf("faults: %d WAL append error(s) injected; degraded mode entered %d time(s), recovered %d time(s)\n",
+			rep.WALAppendErrors, rep.DegradedEntered, rep.DegradedRecovered)
+	}
 	fmt.Printf("report written to %s\n", *reportPath)
 
 	if rep.Lost > 0 {
@@ -414,6 +431,19 @@ func runChaos(args []string) error {
 	}
 	if rep.Errors > 0 {
 		return fmt.Errorf("%d session(s) failed", rep.Errors)
+	}
+	// Vacuity gates: a faulted run must actually have exercised the fault
+	// plane, or the zero-loss result proves nothing.
+	if chaosOpts.Faults.HasStorage() && rep.WALAppendErrors == 0 {
+		return fmt.Errorf("fault schedule scripted storage faults but no WAL append error was observed")
+	}
+	if chaosOpts.Faults.HasStorageKind(fault.KindENOSPC) {
+		if rep.DegradedEntered == 0 {
+			return fmt.Errorf("fault schedule scripted an ENOSPC window but the server never entered degraded mode")
+		}
+		if rep.DegradedRecovered == 0 {
+			return fmt.Errorf("server entered degraded mode but never auto-recovered")
+		}
 	}
 	return nil
 }

@@ -1,0 +1,138 @@
+// Per-worker circuit breaker (DESIGN.md §14). The health monitor detects
+// failures at probe speed — seconds. The proxy path sees failures at
+// request speed — every attempt against a dying worker costs a full
+// transport timeout before the retry loop moves on. The breaker closes
+// that gap: consecutive request-path failures trip it open, open means
+// attempts against that worker are refused instantly (the retry loop
+// backs off and re-resolves, so failover fencing still wins the race),
+// and after a cooldown a single half-open probe attempt decides whether
+// to close it again or re-open for another cooldown.
+//
+// The breaker deliberately does NOT feed the failure detector or skip
+// workers at resolve time: placement must stay a pure function of the
+// ring (a breaker-open home still owns its keys; only fencing reroutes
+// them). It only changes how fast the proxy path stops burning timeouts
+// on a worker that is failing right now.
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state machine.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one worker's circuit breaker. All methods are safe for
+// concurrent use; the now hook exists for tests.
+type breaker struct {
+	threshold int           // consecutive failures that trip it
+	cooldown  time.Duration // open -> half-open delay
+	now       func() time.Time
+	onTrip    func() // optional trip notification (called under mu)
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	trips    int64     // cumulative closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether an attempt may proceed. While open it refuses
+// until the cooldown elapses, then moves to half-open and admits exactly
+// one probe attempt; concurrent attempts during the probe are refused so
+// a single request decides the verdict.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Success records a completed attempt: it closes a half-open breaker and
+// clears the consecutive-failure run.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed attempt: the half-open probe failing re-opens
+// immediately; while closed, the threshold'th consecutive failure trips.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case breakerOpen:
+		// A straggler attempt admitted before the trip; already open.
+	}
+}
+
+// trip opens the breaker; caller holds b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.trips++
+	if b.onTrip != nil {
+		b.onTrip()
+	}
+}
+
+// State returns the current state and cumulative trip count. It does not
+// advance open -> half-open on its own: stats report the state as last
+// acted on by the request path.
+func (b *breaker) State() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

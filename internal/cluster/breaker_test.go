@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks closed -> open -> half-open -> closed and
+// the half-open -> open re-trip, with a fake clock.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return clock }
+	trips := 0
+	b.onTrip = func() { trips++ }
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Failure()
+	}
+	if st, _ := b.State(); st != breakerClosed {
+		t.Fatalf("state after 2 failures: %v", st)
+	}
+
+	// Third consecutive failure trips it.
+	b.Failure()
+	if st, _ := b.State(); st != breakerOpen || trips != 1 {
+		t.Fatalf("state after threshold: %v, trips %d", st, trips)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt inside the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one half-open probe is admitted.
+	clock = clock.Add(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent half-open probe")
+	}
+
+	// Probe fails: re-open for another full cooldown.
+	b.Failure()
+	if st, _ := b.State(); st != breakerOpen || trips != 2 {
+		t.Fatalf("state after failed probe: %v, trips %d", st, trips)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted an attempt immediately")
+	}
+
+	// Second probe succeeds: closed, failure run reset.
+	clock = clock.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second half-open probe")
+	}
+	b.Success()
+	if st, _ := b.State(); st != breakerClosed {
+		t.Fatalf("state after successful probe: %v", st)
+	}
+
+	// The reset means two fresh failures do not trip.
+	b.Failure()
+	b.Failure()
+	if st, _ := b.State(); st != breakerClosed {
+		t.Fatal("failure run survived the successful probe")
+	}
+	// An interleaved success clears the run again.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if st, _ := b.State(); st != breakerClosed || trips != 2 {
+		t.Fatalf("non-consecutive failures tripped the breaker: trips %d", trips)
+	}
+}

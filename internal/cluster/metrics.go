@@ -26,6 +26,10 @@ var (
 		"/admin/adopt attempts issued during failovers.")
 	mAdoptErrors = obs.NewCounter("qfe_router_adopt_errors_total",
 		"Estate adoptions that exhausted their retries.")
+	mBreakerTrips = obs.NewCounter("qfe_router_breaker_trips_total",
+		"Per-worker circuit breakers tripped open.")
+	mBreakerRejects = obs.NewCounter("qfe_router_breaker_rejects_total",
+		"Proxy attempts refused by an open circuit breaker.")
 
 	mProxyLatency = obs.NewHistogramVec("qfe_router_proxy_seconds",
 		"One upstream proxy attempt's latency by worker.",

@@ -65,6 +65,13 @@ type Options struct {
 	// adoption replays a WAL tail, which can be slow).
 	AdoptTimeout time.Duration
 
+	// BreakerThreshold is how many consecutive request-path failures trip
+	// a worker's circuit breaker open (0 = 5; <0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker refuses attempts
+	// before admitting a half-open probe (0 = 1s).
+	BreakerCooldown time.Duration
+
 	// Client issues all upstream requests (nil = a fresh http.Client;
 	// timeouts come from per-request contexts).
 	Client *http.Client
@@ -88,8 +95,17 @@ func (o Options) withDefaults() Options {
 	if o.AdoptTimeout <= 0 {
 		o.AdoptTimeout = 2 * time.Minute
 	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
 	if o.Client == nil {
-		o.Client = &http.Client{}
+		// Per-request deadlines (CallTimeout, AdoptTimeout, probe contexts)
+		// bound every call; the shared transport bounds dial/TLS so a dead
+		// peer fails fast instead of riding the OS SYN retry ladder.
+		o.Client = retry.HTTPClientPerRequest()
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -128,6 +144,9 @@ type workerState struct {
 	w        Worker
 	phase    atomic.Int32 // workerPhase; written under Router.mu, read anywhere
 	inflight atomic.Int64
+	// breaker sheds request-path failures faster than the probe-interval
+	// failure detector can (nil when disabled).
+	breaker *breaker
 	// proxyLatency is this worker's pre-resolved attempt-latency histogram
 	// (resolved once in NewRouter; the proxy path does no lookups).
 	proxyLatency *obs.Histogram
@@ -148,26 +167,30 @@ func (ws *workerState) release() { ws.inflight.Add(-1) }
 
 // routerCounters are the router's cumulative operational counters.
 type routerCounters struct {
-	proxied     atomic.Int64 // client requests accepted for proxying
-	retries     atomic.Int64 // upstream attempts beyond the first
-	shed        atomic.Int64 // requests dropped at a worker's in-flight cap
-	fenced      atomic.Int64 // resolutions deferred by a fenced home
-	unavailable atomic.Int64 // requests that exhausted the retry budget
-	failovers   atomic.Int64 // workers declared dead
-	adoptCalls  atomic.Int64 // /admin/adopt attempts issued
-	adoptErrors atomic.Int64 // adoptions that exhausted their retries
+	proxied        atomic.Int64 // client requests accepted for proxying
+	retries        atomic.Int64 // upstream attempts beyond the first
+	shed           atomic.Int64 // requests dropped at a worker's in-flight cap
+	fenced         atomic.Int64 // resolutions deferred by a fenced home
+	unavailable    atomic.Int64 // requests that exhausted the retry budget
+	failovers      atomic.Int64 // workers declared dead
+	adoptCalls     atomic.Int64 // /admin/adopt attempts issued
+	adoptErrors    atomic.Int64 // adoptions that exhausted their retries
+	breakerTrips   atomic.Int64 // circuit breakers tripped open
+	breakerRejects atomic.Int64 // attempts refused by an open breaker
 }
 
 // CounterSnapshot is the JSON form of the router counters.
 type CounterSnapshot struct {
-	Proxied     int64 `json:"proxied"`
-	Retries     int64 `json:"retries"`
-	Shed        int64 `json:"shed"`
-	Fenced      int64 `json:"fenced"`
-	Unavailable int64 `json:"unavailable"`
-	Failovers   int64 `json:"failovers"`
-	AdoptCalls  int64 `json:"adoptCalls"`
-	AdoptErrors int64 `json:"adoptErrors"`
+	Proxied        int64 `json:"proxied"`
+	Retries        int64 `json:"retries"`
+	Shed           int64 `json:"shed"`
+	Fenced         int64 `json:"fenced"`
+	Unavailable    int64 `json:"unavailable"`
+	Failovers      int64 `json:"failovers"`
+	AdoptCalls     int64 `json:"adoptCalls"`
+	AdoptErrors    int64 `json:"adoptErrors"`
+	BreakerTrips   int64 `json:"breakerTrips"`
+	BreakerRejects int64 `json:"breakerRejects"`
 }
 
 // Router fronts a set of qfe-server workers: it places sessions with the
@@ -222,6 +245,16 @@ func NewRouter(opts Options) (*Router, error) {
 			WALDir:    w.WALDir,
 		}}
 		ws.proxyLatency = mProxyLatency.With(w.ID)
+		if opts.BreakerThreshold > 0 {
+			b := newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+			id := w.ID
+			b.onTrip = func() {
+				rt.counters.breakerTrips.Add(1)
+				mBreakerTrips.Inc()
+				rt.opts.Logf("cluster: breaker tripped open for worker %s (cooldown %s)", id, opts.BreakerCooldown)
+			}
+			ws.breaker = b
+		}
 		rt.workers[w.ID] = ws
 		rt.ring.Add(w.ID)
 	}
@@ -405,9 +438,10 @@ func (rt *Router) liveCountLocked() int {
 // re-resolves each attempt, so once a failover completes the request lands
 // on the successor.
 var (
-	errNoWorkers = errors.New("no routable workers")
-	errFenced    = errors.New("home worker fenced, failover in progress")
-	errShed      = errors.New("worker at in-flight capacity")
+	errNoWorkers   = errors.New("no routable workers")
+	errFenced      = errors.New("home worker fenced, failover in progress")
+	errShed        = errors.New("worker at in-flight capacity")
+	errBreakerOpen = errors.New("worker circuit breaker open")
 )
 
 // resolve picks the worker for a key. Lookups and feedback go strictly to
@@ -565,6 +599,14 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, key string, crea
 		if err != nil {
 			return err
 		}
+		if ws.breaker != nil && !ws.breaker.Allow() {
+			// Short-circuit without burning a transport timeout. Retryable:
+			// the loop backs off and re-resolves, so by the next attempt the
+			// breaker may be half-open or the worker fenced and failed over.
+			rt.counters.breakerRejects.Add(1)
+			mBreakerRejects.Inc()
+			return fmt.Errorf("worker %s: %w", ws.w.ID, errBreakerOpen)
+		}
 		if !ws.acquire(rt.opts.MaxInflight) {
 			// Shed immediately rather than queue: under overload, fast 503s
 			// with Retry-After keep latency bounded and let clients back off.
@@ -577,10 +619,25 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, key string, crea
 		resp, err := rt.attempt(r.Context(), ws, method, path, body)
 		ws.proxyLatency.ObserveDuration(time.Since(t0))
 		if err != nil {
+			// Transport-level failure: the worker never answered. Feed the
+			// breaker unless the client itself gave up (its canceled context
+			// says nothing about the worker's health).
+			if ws.breaker != nil && r.Context().Err() == nil {
+				ws.breaker.Failure()
+			}
 			return err
 		}
 		if resp.status == http.StatusServiceUnavailable {
+			// The worker answered but cannot serve (degraded WAL, shutting
+			// down). Counts against the breaker: a degraded worker should
+			// shed at request speed, not per-attempt timeout speed.
+			if ws.breaker != nil {
+				ws.breaker.Failure()
+			}
 			return fmt.Errorf("worker %s unavailable", ws.w.ID)
+		}
+		if ws.breaker != nil {
+			ws.breaker.Success()
 		}
 		out = resp
 		return nil
@@ -655,12 +712,14 @@ func (rt *Router) healthz(w http.ResponseWriter, r *http.Request) {
 
 // WorkerInfo is one worker's row in /cluster/stats.
 type WorkerInfo struct {
-	ID       string          `json:"id"`
-	URL      string          `json:"url"`
-	Phase    string          `json:"phase"`
-	Health   string          `json:"health"`
-	Inflight int64           `json:"inflight"`
-	Stats    json.RawMessage `json:"stats,omitempty"` // live worker's /stats, when reachable
+	ID           string          `json:"id"`
+	URL          string          `json:"url"`
+	Phase        string          `json:"phase"`
+	Health       string          `json:"health"`
+	Inflight     int64           `json:"inflight"`
+	Breaker      string          `json:"breaker,omitempty"` // closed / open / half-open
+	BreakerTrips int64           `json:"breakerTrips,omitempty"`
+	Stats        json.RawMessage `json:"stats,omitempty"` // live worker's /stats, when reachable
 }
 
 // ClusterStats is the GET /cluster/stats payload.
@@ -695,14 +754,16 @@ func (rt *Router) clusterStats(w http.ResponseWriter, r *http.Request) {
 		Live:          live,
 		Estates:       estates,
 		Counters: CounterSnapshot{
-			Proxied:     rt.counters.proxied.Load(),
-			Retries:     rt.counters.retries.Load(),
-			Shed:        rt.counters.shed.Load(),
-			Fenced:      rt.counters.fenced.Load(),
-			Unavailable: rt.counters.unavailable.Load(),
-			Failovers:   rt.counters.failovers.Load(),
-			AdoptCalls:  rt.counters.adoptCalls.Load(),
-			AdoptErrors: rt.counters.adoptErrors.Load(),
+			Proxied:        rt.counters.proxied.Load(),
+			Retries:        rt.counters.retries.Load(),
+			Shed:           rt.counters.shed.Load(),
+			Fenced:         rt.counters.fenced.Load(),
+			Unavailable:    rt.counters.unavailable.Load(),
+			Failovers:      rt.counters.failovers.Load(),
+			AdoptCalls:     rt.counters.adoptCalls.Load(),
+			AdoptErrors:    rt.counters.adoptErrors.Load(),
+			BreakerTrips:   rt.counters.breakerTrips.Load(),
+			BreakerRejects: rt.counters.breakerRejects.Load(),
 		},
 	}
 	infos := make([]WorkerInfo, len(ids))
@@ -715,6 +776,11 @@ func (rt *Router) clusterStats(w http.ResponseWriter, r *http.Request) {
 			Phase:    ws.getPhase().String(),
 			Health:   rt.monitor.State(id).String(),
 			Inflight: ws.inflight.Load(),
+		}
+		if ws.breaker != nil {
+			st, trips := ws.breaker.State()
+			infos[i].Breaker = st.String()
+			infos[i].BreakerTrips = trips
 		}
 		if ws.getPhase() != phaseActive {
 			continue

@@ -1,0 +1,297 @@
+// Package fault is the deterministic fault-injection plane (DESIGN.md §14):
+// seeded, scripted failures for the storage and network paths, so the chaos
+// harness can drive the system through full disks, torn writes, fsync
+// stalls, dropped responses and partitions — and the degradation machinery
+// (degraded read-only mode, the router's circuit breaker, deadline
+// propagation) can be exercised and gated in CI instead of waited for in
+// production.
+//
+// A Schedule is a JSON document with two fault lists:
+//
+//   - Storage faults trigger on the cumulative count of records appended to
+//     the journal — deterministic against workload progress, independent of
+//     machine speed. They are injected through a Journal wrapper
+//     (service.Options.Journal) plus the wal package's WriteHook/SyncHook
+//     seams, so torn writes put real partial records on disk and stalls
+//     really block the fsync path.
+//
+//   - Network faults trigger on elapsed time since the process armed the
+//     schedule. They are injected through an http.RoundTripper wrapper
+//     (outbound: added latency, response drops, partitions) and a
+//     net.Listener wrapper (inbound: partitions that refuse new connections
+//     and sever established ones).
+//
+// Schedules re-arm from zero each process start: a restarted (chaos-killed)
+// server replays its early faults, which multiplies coverage rather than
+// weakening it.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Logf receives human-readable fault-firing notices (nil discards them).
+type Logf func(format string, args ...any)
+
+// Duration marshals as a Go duration string ("750ms") so schedules stay
+// hand-editable; plain JSON numbers are accepted as nanoseconds.
+type Duration time.Duration
+
+// D returns the native duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "1.5s" strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("fault: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("fault: bad duration %s", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Storage fault kinds.
+const (
+	// KindEIO fails one append with an I/O error before any byte is written.
+	KindEIO = "eio"
+	// KindENOSPC rejects every append and ping for Duration — the full-disk
+	// window that drives a worker into (and back out of) degraded mode.
+	KindENOSPC = "enospc"
+	// KindTorn writes a genuine partial record to disk and fails the append —
+	// the crashed-mid-write shape the WAL's longest-valid-prefix replay and
+	// truncate-back self-healing exist for.
+	KindTorn = "torn"
+	// KindStall sleeps Duration inside one fsync, pinning the log lock —
+	// the hung-disk shape deadline propagation exists for.
+	KindStall = "stall"
+)
+
+// StorageFault scripts one journal failure.
+type StorageFault struct {
+	// AtRecord fires the fault when the cumulative appended-record count
+	// reaches this value (1-based), counted per process lifetime.
+	AtRecord int `json:"atRecord"`
+	// Kind is one of eio, enospc, torn, stall.
+	Kind string `json:"kind"`
+	// Duration is the enospc window or stall length (default 1s).
+	Duration Duration `json:"duration,omitempty"`
+	// TornBytes bounds how many bytes of the batch reach disk for a torn
+	// write (default: half the batch).
+	TornBytes int `json:"tornBytes,omitempty"`
+}
+
+// Network fault kinds.
+const (
+	// KindPartition refuses outbound requests / severs inbound connections
+	// while active — a directional network partition.
+	KindPartition = "partition"
+	// KindLatency adds Latency to every outbound request while active.
+	KindLatency = "latency"
+	// KindDrop lets the request reach the server, then discards the
+	// response — the ack sent/not-sent ambiguity retried writes must absorb.
+	KindDrop = "drop"
+)
+
+// Network fault sides.
+const (
+	// SideInbound applies at the server's listener.
+	SideInbound = "inbound"
+	// SideOutbound applies at the client's (or router's) transport.
+	SideOutbound = "outbound"
+)
+
+// NetworkFault scripts one network failure window.
+type NetworkFault struct {
+	// After arms the fault this long after the schedule starts.
+	After Duration `json:"after"`
+	// Duration keeps it active this long (default 1s).
+	Duration Duration `json:"duration,omitempty"`
+	// Kind is one of partition, latency, drop.
+	Kind string `json:"kind"`
+	// Latency is the added per-request delay for latency faults.
+	Latency Duration `json:"latency,omitempty"`
+	// Side restricts the fault to "inbound" (listener) or "outbound"
+	// (transport); empty applies wherever the schedule is installed.
+	Side string `json:"side,omitempty"`
+}
+
+// window returns the fault's active interval as offsets from schedule start.
+func (f NetworkFault) window() (from, to time.Duration) {
+	from = f.After.D()
+	d := f.Duration.D()
+	if d <= 0 {
+		d = time.Second
+	}
+	return from, from + d
+}
+
+// appliesTo reports whether the fault is installed on the given side.
+func (f NetworkFault) appliesTo(side string) bool {
+	return f.Side == "" || f.Side == side
+}
+
+// Schedule is a complete fault script for one process.
+type Schedule struct {
+	// Seed records the generator seed (informational for generated
+	// schedules, ignored for hand-written ones).
+	Seed int64 `json:"seed,omitempty"`
+	// Storage faults fire by journal record count.
+	Storage []StorageFault `json:"storage,omitempty"`
+	// Network faults fire by elapsed time.
+	Network []NetworkFault `json:"network,omitempty"`
+}
+
+// HasStorage reports whether any storage faults are scripted.
+func (s *Schedule) HasStorage() bool { return s != nil && len(s.Storage) > 0 }
+
+// HasNetwork reports whether any network faults are scripted for side.
+func (s *Schedule) HasNetwork(side string) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Network {
+		if f.appliesTo(side) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasStorageKind reports whether a storage fault of the given kind is
+// scripted — harnesses use it for vacuity checks ("the ENOSPC gate only
+// applies when an ENOSPC was actually scheduled").
+func (s *Schedule) HasStorageKind(kind string) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Storage {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// validate rejects unknown kinds/sides and nonsensical triggers early, so a
+// typo in a hand-written schedule fails the process at startup rather than
+// silently never firing.
+func (s *Schedule) validate() error {
+	for i, f := range s.Storage {
+		switch f.Kind {
+		case KindEIO, KindENOSPC, KindTorn, KindStall:
+		default:
+			return fmt.Errorf("fault: storage[%d]: unknown kind %q (want eio, enospc, torn or stall)", i, f.Kind)
+		}
+		if f.AtRecord <= 0 {
+			return fmt.Errorf("fault: storage[%d]: atRecord must be >= 1", i)
+		}
+	}
+	for i, f := range s.Network {
+		switch f.Kind {
+		case KindPartition, KindLatency, KindDrop:
+		default:
+			return fmt.Errorf("fault: network[%d]: unknown kind %q (want partition, latency or drop)", i, f.Kind)
+		}
+		switch f.Side {
+		case "", SideInbound, SideOutbound:
+		default:
+			return fmt.Errorf("fault: network[%d]: unknown side %q (want inbound or outbound)", i, f.Side)
+		}
+		if f.After < 0 {
+			return fmt.Errorf("fault: network[%d]: negative after", i)
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a schedule document.
+func Parse(b []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads a schedule from a JSON file, or generates one when the spec is
+// "seed:N" — the single flag syntax the binaries and the chaos harness
+// accept for -fault-schedule.
+func Load(spec string) (*Schedule, error) {
+	if seed, ok := cutSeed(spec); ok {
+		return Generate(seed), nil
+	}
+	b, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return Parse(b)
+}
+
+// cutSeed parses the "seed:N" spec form.
+func cutSeed(spec string) (int64, bool) {
+	const p = "seed:"
+	if len(spec) <= len(p) || spec[:len(p)] != p {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(spec[len(p):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Save writes the schedule as indented JSON.
+func (s *Schedule) Save(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Generate builds a deterministic mixed schedule from a seed: an early torn
+// write, an EIO, an ENOSPC window long enough to observe degraded mode, a
+// sync stall, and one window of each network fault kind. The same seed
+// always yields the same schedule; different seeds move the trigger points.
+func Generate(seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	ms := func(lo, hi int) Duration {
+		return Duration(time.Duration(lo+rng.Intn(hi-lo)) * time.Millisecond)
+	}
+	return &Schedule{
+		Seed: seed,
+		Storage: []StorageFault{
+			{AtRecord: 5 + rng.Intn(8), Kind: KindTorn},
+			{AtRecord: 18 + rng.Intn(12), Kind: KindEIO},
+			{AtRecord: 35 + rng.Intn(15), Kind: KindENOSPC, Duration: ms(1200, 2000)},
+			{AtRecord: 60 + rng.Intn(20), Kind: KindStall, Duration: ms(250, 600)},
+		},
+		Network: []NetworkFault{
+			{After: ms(1500, 3500), Duration: ms(600, 1200), Kind: KindPartition, Side: SideInbound},
+			{After: ms(4000, 6000), Duration: ms(500, 1000), Kind: KindLatency, Latency: ms(20, 80)},
+			{After: ms(6500, 9000), Duration: ms(400, 900), Kind: KindDrop, Side: SideOutbound},
+		},
+	}
+}

@@ -1,0 +1,180 @@
+// Network-fault injection: an http.RoundTripper wrapper for outbound
+// faults (added latency, response drops, partitions) and a net.Listener
+// wrapper for inbound partitions. Both are armed at construction and fire
+// by elapsed time, so a scripted window hits whatever traffic is in flight
+// — the point is ambiguity (was the write applied before the response was
+// lost?), which the retry discipline and seq-idempotent API must absorb.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with the schedule's outbound
+// network faults.
+type Transport struct {
+	inner  http.RoundTripper
+	faults []NetworkFault
+	start  time.Time
+	now    func() time.Time
+	logf   Logf
+}
+
+// NewTransport installs the schedule's outbound-side network faults around
+// inner (nil inner selects http.DefaultTransport). The schedule arms now.
+func NewTransport(inner http.RoundTripper, sched *Schedule, logf Logf) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	t := &Transport{inner: inner, start: time.Now(), now: time.Now, logf: logf}
+	if sched != nil {
+		for _, f := range sched.Network {
+			if f.appliesTo(SideOutbound) {
+				t.faults = append(t.faults, f)
+			}
+		}
+	}
+	return t
+}
+
+// active collects the faults of one kind whose window covers the current
+// elapsed time.
+func (t *Transport) active(kind string) []NetworkFault {
+	el := t.now().Sub(t.start)
+	var out []NetworkFault
+	for _, f := range t.faults {
+		if f.Kind != kind {
+			continue
+		}
+		if from, to := f.window(); el >= from && el < to {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RoundTrip applies active latency, partition and drop faults around the
+// real round trip. A dropped response is fully read first, so the server
+// has applied and acknowledged the request before the client loses the ack.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	for _, f := range t.active(KindLatency) {
+		d := f.Latency.D()
+		if d <= 0 {
+			continue
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if fs := t.active(KindPartition); len(fs) > 0 {
+		t.log("fault: outbound partition refuses %s %s", req.Method, req.URL)
+		return nil, fmt.Errorf("fault: injected partition: %s unreachable", req.URL.Host)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if fs := t.active(KindDrop); len(fs) > 0 {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		t.log("fault: dropped %d response for %s %s", resp.StatusCode, req.Method, req.URL)
+		return nil, fmt.Errorf("fault: injected response drop from %s", req.URL.Host)
+	}
+	return resp, nil
+}
+
+// log emits a fault notice.
+func (t *Transport) log(format string, args ...any) {
+	if t.logf != nil {
+		t.logf(format, args...)
+	}
+}
+
+// Listener wraps a net.Listener with the schedule's inbound partition
+// windows: while one is active, newly accepted connections are closed
+// immediately and established connections are severed at their next read
+// or write — keep-alive pools give a partition no free pass.
+type Listener struct {
+	net.Listener
+	faults []NetworkFault
+	start  time.Time
+	now    func() time.Time
+	logf   Logf
+}
+
+// NewListener installs the schedule's inbound-side partitions around ln.
+// The schedule arms now.
+func NewListener(ln net.Listener, sched *Schedule, logf Logf) *Listener {
+	l := &Listener{Listener: ln, start: time.Now(), now: time.Now, logf: logf}
+	if sched != nil {
+		for _, f := range sched.Network {
+			if f.Kind == KindPartition && f.appliesTo(SideInbound) {
+				l.faults = append(l.faults, f)
+			}
+		}
+	}
+	return l
+}
+
+// log emits a fault notice.
+func (l *Listener) log(format string, args ...any) {
+	if l.logf != nil {
+		l.logf(format, args...)
+	}
+}
+
+// partitioned reports an active inbound partition window.
+func (l *Listener) partitioned() bool {
+	el := l.now().Sub(l.start)
+	for _, f := range l.faults {
+		if from, to := f.window(); el >= from && el < to {
+			return true
+		}
+	}
+	return false
+}
+
+// Accept rejects connections while partitioned (closing them models the
+// peer's RST) and hands out severing wrappers otherwise.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		if l.partitioned() {
+			l.log("fault: inbound partition closes connection from %s", c.RemoteAddr())
+			_ = c.Close()
+			continue
+		}
+		return &faultConn{Conn: c, l: l}, nil
+	}
+}
+
+// faultConn severs an established connection when a partition window opens.
+type faultConn struct {
+	net.Conn
+	l *Listener
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if c.l.partitioned() {
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("fault: injected partition severed connection")
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.l.partitioned() {
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("fault: injected partition severed connection")
+	}
+	return c.Conn.Write(b)
+}

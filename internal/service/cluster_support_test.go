@@ -7,6 +7,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -24,14 +25,14 @@ func TestCreateWithIDIdempotent(t *testing.T) {
 	m := New(testOptions())
 	qc := paperCandidates()
 
-	st1, err := m.CreateWithID("dup", d, r, qc)
+	st1, err := m.CreateWithID(context.Background(), "dup", d, r, qc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st1.ID != "dup" || st1.Round == nil {
 		t.Fatalf("bad first create: %+v", st1)
 	}
-	st2, err := m.CreateWithID("dup", d, r, qc)
+	st2, err := m.CreateWithID(context.Background(), "dup", d, r, qc)
 	if err != nil {
 		t.Fatalf("replayed create errored: %v", err)
 	}
@@ -44,11 +45,11 @@ func TestCreateWithIDIdempotent(t *testing.T) {
 
 	// The replay stays idempotent after progress: it reads the current
 	// state, it does not reset the session.
-	adv, err := m.FeedbackAt("dup", st1.Round.Seq, 0)
+	adv, err := m.FeedbackAt(context.Background(), "dup", st1.Round.Seq, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st3, err := m.CreateWithID("dup", d, r, qc)
+	st3, err := m.CreateWithID(context.Background(), "dup", d, r, qc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestCreateWithIDIdempotent(t *testing.T) {
 		t.Fatalf("replay after feedback regressed: %+v vs %+v", st3, adv)
 	}
 
-	if _, err := m.CreateWithID("", d, r, qc); err == nil {
+	if _, err := m.CreateWithID(context.Background(), "", d, r, qc); err == nil {
 		t.Fatal("empty id accepted")
 	}
 }
@@ -69,7 +70,7 @@ func TestCreateWithIDIdempotent(t *testing.T) {
 func TestLoadMergesByProgress(t *testing.T) {
 	d, r := employeeDB()
 	m := New(testOptions())
-	st, err := m.CreateWithID("s1", d, r, paperCandidates())
+	st, err := m.CreateWithID(context.Background(), "s1", d, r, paperCandidates())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestLoadMergesByProgress(t *testing.T) {
 	if _, err := m.Save(&early); err != nil {
 		t.Fatal(err)
 	}
-	adv, err := m.FeedbackAt("s1", st.Round.Seq, 0)
+	adv, err := m.FeedbackAt(context.Background(), "s1", st.Round.Seq, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestAdoptEndpoint(t *testing.T) {
 	opts.Journal = journal
 	dead := New(opts)
 	d, r := employeeDB()
-	st, err := dead.CreateWithID("victim-session", d, r, paperCandidates())
+	st, err := dead.CreateWithID(context.Background(), "victim-session", d, r, paperCandidates())
 	if err != nil {
 		t.Fatal(err)
 	}
-	adv, err := dead.FeedbackAt("victim-session", st.Round.Seq, 0)
+	adv, err := dead.FeedbackAt(context.Background(), "victim-session", st.Round.Seq, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -320,6 +320,7 @@ func (m *Manager) rebuildSession(id string, created *wal.Record) (*managed, erro
 	}
 	now := m.opts.Clock()
 	h := &managed{
+		mu:       newSessLock(),
 		id:       id,
 		sess:     sess,
 		created:  time.Unix(0, created.UnixNs),
@@ -351,7 +352,7 @@ func (m *Manager) rebuildSession(id string, created *wal.Record) (*managed, erro
 // recovered, so clients holding its id get ErrDead instead of ErrNotFound.
 func (m *Manager) installTombstone(id string, cause error) {
 	now := m.opts.Clock()
-	h := &managed{id: id, created: now, lastUsed: now}
+	h := &managed{mu: newSessLock(), id: id, created: now, lastUsed: now}
 	h.dead = fmt.Errorf("%w: session %s: recovery: %v", ErrDead, id, cause)
 	h.done.Store(true)
 	m.mu.Lock()

@@ -8,6 +8,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -516,12 +517,12 @@ func TestFeedbackAtIdempotent(t *testing.T) {
 		t.Fatalf("first round seq = %d", st.Round.Seq)
 	}
 
-	st2, err := m.FeedbackAt(id, 1, 0)
+	st2, err := m.FeedbackAt(context.Background(), id, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Retry of the same (seq, choice): must not step the engine again.
-	st3, err := m.FeedbackAt(id, 1, 0)
+	st3, err := m.FeedbackAt(context.Background(), id, 1, 0)
 	if err != nil {
 		t.Fatalf("idempotent retry errored: %v", err)
 	}
@@ -530,11 +531,11 @@ func TestFeedbackAtIdempotent(t *testing.T) {
 	}
 	// A retry with a different choice for an absorbed seq is also absorbed:
 	// the server's acknowledged history wins.
-	if _, err := m.FeedbackAt(id, 1, core.NoneOfThese); err != nil {
+	if _, err := m.FeedbackAt(context.Background(), id, 1, core.NoneOfThese); err != nil {
 		t.Fatalf("stale-seq retry errored: %v", err)
 	}
 	// Future seq: the client knows rounds the server never produced.
-	if _, err := m.FeedbackAt(id, 99, 0); !errors.Is(err, ErrSeqAhead) {
+	if _, err := m.FeedbackAt(context.Background(), id, 99, 0); !errors.Is(err, ErrSeqAhead) {
 		t.Fatalf("want ErrSeqAhead, got %v", err)
 	}
 }
@@ -671,5 +672,207 @@ func TestCheckpointAtomicNoLitter(t *testing.T) {
 	m2 := New(testOptions())
 	if n, errs := m2.Load(f); n != 1 || len(errs) > 0 {
 		t.Fatalf("checkpoint not loadable: n=%d errs=%v", n, errs)
+	}
+}
+
+// flakyJournal wraps a real log with a switchable failure, standing in for
+// a disk that starts erroring and later heals (the fault package's wrapper
+// does the same at scripted trigger points; this one is hand-driven so the
+// test controls exactly which append fails).
+type flakyJournal struct {
+	inner *wal.Log
+	mu    sync.Mutex
+	fail  error
+}
+
+func (f *flakyJournal) setFail(err error) {
+	f.mu.Lock()
+	f.fail = err
+	f.mu.Unlock()
+}
+
+func (f *flakyJournal) failing() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fail
+}
+
+func (f *flakyJournal) Append(recs ...wal.Record) error {
+	if err := f.failing(); err != nil {
+		return err
+	}
+	return f.inner.Append(recs...)
+}
+
+func (f *flakyJournal) Ping() error {
+	if err := f.failing(); err != nil {
+		return err
+	}
+	return f.inner.Ping()
+}
+
+func (f *flakyJournal) Rotate() (uint64, error)              { return f.inner.Rotate() }
+func (f *flakyJournal) TruncateBefore(boundary uint64) error { return f.inner.TruncateBefore(boundary) }
+
+// TestFeedbackExactlyOnceThroughEIO is the degraded-mode contract end to
+// end: a feedback that hits a journal I/O error is refused with ErrDegraded
+// (the engine has advanced, but the client must NOT treat the round as
+// acknowledged), reads keep working, and the client's seq-idempotent retry
+// after the fault clears journals the stashed records and acknowledges the
+// SAME round exactly once — leaving a WAL that a fresh manager recovers to
+// the identical outcome.
+func TestFeedbackExactlyOnceThroughEIO(t *testing.T) {
+	d, r := employeeDB()
+	qc := paperCandidates()
+	oracle := feedback.Target{Query: qc[2]}
+
+	// Reference outcome from an unfaulted run.
+	ref := New(testOptions())
+	rst, err := ref.Create(d, r, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := outcomeFingerprint(driveToOutcome(t, ref, rst.ID, oracle))
+
+	walDir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: walDir, Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	fj := &flakyJournal{inner: l}
+	opts := testOptions()
+	opts.Journal = fj
+	m := New(opts)
+
+	st, err := m.Create(d, r, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+	// Answer round 1 the way the reference run did, so outcomes compare.
+	choice, ok, err := oracle.Choose(st.Round.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		choice = core.NoneOfThese
+	}
+
+	// The disk starts failing: feedback must be refused with ErrDegraded.
+	fj.setFail(fmt.Errorf("injected I/O error"))
+	if _, err := m.FeedbackAt(context.Background(), id, 1, choice); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("feedback during EIO: want ErrDegraded, got %v", err)
+	}
+	stats := m.Stats()
+	if stats.WALAppendErrors == 0 {
+		t.Error("append error not counted in WALAppendErrors")
+	}
+	if !stats.Degraded || stats.DegradedEntered == 0 {
+		t.Errorf("manager not degraded after append failure: %+v", stats)
+	}
+	// Reads still work in degraded mode.
+	if _, err := m.Get(id); err != nil {
+		t.Fatalf("get during degraded mode: %v", err)
+	}
+	// Health reflects the unusable journal, so a router fences this worker.
+	if hs := m.Health(); hs.OK || !hs.Degraded {
+		t.Fatalf("health during degraded mode: %+v", hs)
+	}
+	// While the fault persists, retries keep being refused.
+	if _, err := m.FeedbackAt(context.Background(), id, 1, choice); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("second feedback during EIO: want ErrDegraded, got %v", err)
+	}
+
+	// Fault clears; the client retries the SAME seq. Exactly-once: the
+	// stashed records are journaled and the round acknowledged without
+	// stepping the engine again.
+	fj.setFail(nil)
+	st2, err := m.FeedbackAt(context.Background(), id, 1, choice)
+	if err != nil {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+	if !st2.Done() && (st2.Round == nil || st2.Round.Seq != 2) {
+		t.Fatalf("retry did not advance exactly one round: %+v", st2)
+	}
+	stats = m.Stats()
+	if stats.Degraded || stats.DegradedRecovered == 0 {
+		t.Errorf("manager did not auto-recover: %+v", stats)
+	}
+	if hs := m.Health(); !hs.OK || hs.Degraded {
+		t.Fatalf("health after recovery: %+v", hs)
+	}
+	// A further retry of the absorbed seq stays idempotent.
+	st3, err := m.FeedbackAt(context.Background(), id, 1, choice)
+	if err != nil || !statusEqual(st2, st3) {
+		t.Fatalf("idempotent retry after recovery: %+v %v", st3, err)
+	}
+
+	// The WAL holds the acknowledged round exactly once.
+	seq1 := 0
+	for _, rec := range collectRecords(t, walDir) {
+		if rec.Type == wal.TypeFeedback && rec.ID == id && rec.Seq == 1 {
+			seq1++
+		}
+	}
+	if seq1 != 1 {
+		t.Fatalf("WAL holds seq-1 feedback %d times, want exactly once", seq1)
+	}
+
+	// Finish the session and prove the log the fault plane left behind
+	// recovers to the reference outcome.
+	if got := outcomeFingerprint(driveToOutcome(t, m, id, oracle)); got != want {
+		t.Fatalf("outcome through fault differs:\n  got  %s\n  want %s", got, want)
+	}
+	m2 := New(testOptions())
+	if _, err := m2.Recover("", walDir); err != nil {
+		t.Fatal(err)
+	}
+	st4, err := m2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st4.Done() {
+		t.Fatalf("recovered session not finished: %+v", st4)
+	}
+	if got := outcomeFingerprint(st4.Outcome); got != want {
+		t.Fatalf("recovered outcome differs:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// TestCreateRefusedWhileDegraded pins create's degraded behaviour: a failed
+// create-journal append refuses the session outright (nothing half-made
+// survives) and the manager recovers once the journal heals.
+func TestCreateRefusedWhileDegraded(t *testing.T) {
+	d, r := employeeDB()
+	qc := paperCandidates()
+	walDir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: walDir, Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	fj := &flakyJournal{inner: l, fail: fmt.Errorf("injected ENOSPC: no space left on device")}
+	opts := testOptions()
+	opts.Journal = fj
+	m := New(opts)
+
+	if _, err := m.Create(d, r, qc); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("create during ENOSPC: want ErrDegraded, got %v", err)
+	}
+	if m.Resident() != 0 {
+		t.Fatalf("refused create left %d resident session(s)", m.Resident())
+	}
+
+	fj.setFail(nil)
+	st, err := m.Create(d, r, qc)
+	if err != nil {
+		t.Fatalf("create after window: %v", err)
+	}
+	if _, err := m.FeedbackAt(context.Background(), st.ID, 1, 0); err != nil {
+		t.Fatalf("feedback after recovery: %v", err)
+	}
+	if stats := m.Stats(); stats.Degraded {
+		t.Errorf("still degraded after successful create+feedback: %+v", stats)
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -341,6 +342,16 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrDead):
 		status = http.StatusInternalServerError
+	case errors.Is(err, ErrDegraded):
+		// Read-only mode: the mutation was not applied (or not
+		// acknowledged); the client should retry shortly.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller's deadline expired before the operation was applied;
+		// 503 marks the request safely retryable for proxies.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
@@ -408,14 +419,16 @@ func (h *httpAPI) sessions(w http.ResponseWriter, r *http.Request) {
 	}
 	var st Status
 	if req.SessionID != "" {
-		st, err = h.m.CreateWithID(req.SessionID, d, res, qc)
+		st, err = h.m.CreateWithID(r.Context(), req.SessionID, d, res, qc)
 	} else {
-		st, err = h.m.Create(d, res, qc)
+		st, err = h.m.CreateWithID(r.Context(), newID(), d, res, qc)
 	}
 	if err != nil {
-		if errors.Is(err, ErrCapacity) {
+		switch {
+		case errors.Is(err, ErrCapacity), errors.Is(err, ErrDegraded),
+			errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			writeErr(w, err)
-		} else {
+		default:
 			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		}
 		return
@@ -576,7 +589,7 @@ func (h *httpAPI) session(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, fmt.Errorf("choice %d out of range (-1 = none)", req.Choice))
 			return
 		}
-		st, err := h.m.FeedbackAt(id, req.Seq, req.Choice)
+		st, err := h.m.FeedbackAt(r.Context(), id, req.Seq, req.Choice)
 		if err != nil {
 			writeErr(w, err)
 			return

@@ -32,4 +32,10 @@ var (
 		"Wall time of Checkpoint (rotate + snapshot + truncate).")
 	mCheckpointSessions = obs.NewSize("qfe_checkpoint_sessions",
 		"Sessions persisted per checkpoint.")
+	mWALAppendErrors = obs.NewCounter("qfe_wal_append_errors_total",
+		"Journal appends that failed (each one trips degraded mode).")
+	mDegradedEntered = obs.NewCounter("qfe_service_degraded_entered_total",
+		"Transitions into degraded (read-only) mode.")
+	mDegradedRecovered = obs.NewCounter("qfe_service_degraded_recovered_total",
+		"Recoveries out of degraded mode (journal writable again).")
 )

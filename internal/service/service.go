@@ -14,6 +14,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -46,7 +47,23 @@ var (
 	// produced: the client knows more than the server, which after a crash
 	// means acknowledged state was lost (the chaos harness's detector).
 	ErrSeqAhead = errors.New("service: feedback seq ahead of session state")
+	// ErrDegraded reports the manager in degraded read-only mode: the journal
+	// stopped accepting appends, so mutations cannot be durably acknowledged.
+	// HTTP maps it to 503 + Retry-After; reads keep working, and the manager
+	// auto-recovers as soon as Journal.Ping succeeds again.
+	ErrDegraded = errors.New("service: journal unavailable, read-only (degraded) mode")
 )
+
+// Journal is the write-ahead log the Manager acknowledges against. *wal.Log
+// implements it directly; internal/fault wraps one to script storage
+// failures. The method set is exactly what the manager uses: append-before-
+// ack, the health probe, and the checkpoint rotation pair.
+type Journal interface {
+	Append(recs ...wal.Record) error
+	Ping() error
+	Rotate() (uint64, error)
+	TruncateBefore(boundary uint64) error
+}
 
 // Options tunes a Manager. Zero values select defaults.
 type Options struct {
@@ -64,8 +81,9 @@ type Options struct {
 	// acknowledged to the client, so Recover can rebuild sessions lost to a
 	// crash by deterministic replay (DESIGN.md §11). For replay to reproduce
 	// rounds byte-identically, Config must be deterministic — a pair-count
-	// generator budget, not a wall-clock one.
-	Journal *wal.Log
+	// generator budget, not a wall-clock one. Assign only a non-nil journal:
+	// a typed-nil *wal.Log in the interface would defeat the nil checks.
+	Journal Journal
 }
 
 // Manager is a concurrent registry of winnowing sessions. All methods are
@@ -89,18 +107,108 @@ type Manager struct {
 	replayed        atomic.Uint64
 	recordsReplayed atomic.Uint64
 	recoveryNs      atomic.Int64
+
+	// Degraded (read-only) mode: set on any journal-append failure, cleared
+	// when a Journal.Ping succeeds again (checked on every gated mutation
+	// and every Health probe). While set, mutations fail with ErrDegraded
+	// and /healthz reports not-OK so the cluster router fences the node.
+	degraded          atomic.Bool
+	degradedSinceNs   atomic.Int64
+	degradedEntered   atomic.Uint64
+	degradedRecovered atomic.Uint64
+	lastDegradedNs    atomic.Int64 // duration of the last completed degraded episode
+	walAppendErrors   atomic.Uint64
+}
+
+// enterDegraded flips the manager read-only (idempotent).
+func (m *Manager) enterDegraded() {
+	if !m.degraded.Swap(true) {
+		m.degradedSinceNs.Store(m.nowNs())
+		m.degradedEntered.Add(1)
+		mDegradedEntered.Inc()
+	}
+}
+
+// exitDegraded restores read-write mode (idempotent) and records how long
+// the episode lasted.
+func (m *Manager) exitDegraded() {
+	if m.degraded.Swap(false) {
+		m.lastDegradedNs.Store(m.nowNs() - m.degradedSinceNs.Load())
+		m.degradedRecovered.Add(1)
+		mDegradedRecovered.Inc()
+	}
+}
+
+// noteAppendError counts a journal-append failure and trips degraded mode —
+// the shared sink for every append path, best-effort ones included.
+func (m *Manager) noteAppendError() {
+	m.walAppendErrors.Add(1)
+	mWALAppendErrors.Inc()
+	m.enterDegraded()
+}
+
+// checkWritable gates mutations while degraded: it re-probes the journal so
+// the first write after the fault clears flips the manager back to
+// read-write (auto-recovery does not wait for a health probe).
+func (m *Manager) checkWritable() error {
+	if !m.degraded.Load() {
+		return nil
+	}
+	if m.opts.Journal == nil {
+		m.exitDegraded()
+		return nil
+	}
+	if err := m.opts.Journal.Ping(); err != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	m.exitDegraded()
+	return nil
+}
+
+// sessLock is a context-aware mutex guarding one session's stepping. Lock
+// behaves like sync.Mutex; LockCtx gives up when the caller's context ends,
+// so a request whose client is gone stops queueing behind a busy session
+// instead of pinning a server slot for the full write timeout. The zero
+// value is unusable — construct with newSessLock.
+type sessLock struct{ ch chan struct{} }
+
+func newSessLock() sessLock { return sessLock{ch: make(chan struct{}, 1)} }
+
+func (l sessLock) Lock()   { l.ch <- struct{}{} }
+func (l sessLock) Unlock() { <-l.ch }
+
+// LockCtx acquires the lock or returns the context's error, preferring the
+// lock when both are immediately available.
+func (l sessLock) LockCtx(ctx context.Context) error {
+	select {
+	case l.ch <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // managed wraps one session with its serialization lock and bookkeeping.
 // The manager's map lock is never held while a session steps, so slow
 // rounds in one session cannot stall the others.
 type managed struct {
-	mu      sync.Mutex
+	mu      sessLock
 	id      string
 	sess    *core.Session
 	round   *core.Round
 	outcome *core.Outcome
 	dead    error // fatal stepping error; session unusable
+	// unjournaled holds accepted transitions whose journal append failed:
+	// the in-memory state has advanced but the client was told the write
+	// failed (503). They are prepended to the session's next append — in
+	// particular by the seq-idempotent retry path, which must not
+	// re-acknowledge a transition that never became durable.
+	unjournaled []wal.Record
 	// done mirrors "outcome or dead is set" for lock-free reads by the
 	// manager's capacity accounting (those fields are h.mu-guarded).
 	done     atomic.Bool
@@ -148,7 +256,7 @@ func newID() string {
 // session cap is reached (after evicting expired sessions) it returns
 // ErrCapacity — the backpressure signal.
 func (m *Manager) Create(d *db.Database, r *relation.Relation, qc []*algebra.Query) (Status, error) {
-	return m.CreateWithID(newID(), d, r, qc)
+	return m.CreateWithID(context.Background(), newID(), d, r, qc)
 }
 
 // CreateWithID is Create with a caller-chosen session id — the cluster
@@ -157,7 +265,9 @@ func (m *Manager) Create(d *db.Database, r *relation.Relation, qc []*algebra.Que
 // Creating an id that already exists returns the existing session's current
 // status instead of an error, which makes a retried create (whose first
 // acknowledgement was lost to a crash or dropped connection) idempotent.
-func (m *Manager) CreateWithID(id string, d *db.Database, r *relation.Relation, qc []*algebra.Query) (Status, error) {
+// ctx bounds the whole call: lock waits and the engine start are abandoned
+// once the client's deadline passes.
+func (m *Manager) CreateWithID(ctx context.Context, id string, d *db.Database, r *relation.Relation, qc []*algebra.Query) (Status, error) {
 	if id == "" {
 		return Status{}, errors.New("service: empty session id")
 	}
@@ -166,21 +276,34 @@ func (m *Manager) CreateWithID(id string, d *db.Database, r *relation.Relation, 
 	m.mu.Lock()
 	if prev, ok := m.sessions[id]; ok {
 		m.mu.Unlock()
-		prev.mu.Lock()
+		if err := prev.mu.LockCtx(ctx); err != nil {
+			return Status{}, err
+		}
 		defer prev.mu.Unlock()
 		if prev.dead != nil {
 			return Status{}, prev.dead
+		}
+		if err := m.flushUnjournaledLocked(prev); err != nil {
+			return Status{}, err
 		}
 		return m.statusLocked(prev), nil
 	}
 	m.mu.Unlock()
 
+	// Degraded gate before the expensive engine start: a node that cannot
+	// journal must not take on new sessions.
+	if err := m.checkWritable(); err != nil {
+		return Status{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Status{}, err
+	}
 	sess, err := core.NewStepSession(d, r, qc, m.opts.Config)
 	if err != nil {
 		return Status{}, err
 	}
 	now := m.opts.Clock()
-	h := &managed{id: id, sess: sess, created: now, lastUsed: now}
+	h := &managed{mu: newSessLock(), id: id, sess: sess, created: now, lastUsed: now}
 	h.mu.Lock() // reserve: nobody can step until Start finishes
 	defer h.mu.Unlock()
 
@@ -190,10 +313,15 @@ func (m *Manager) CreateWithID(id string, d *db.Database, r *relation.Relation, 
 		// Lost a race against a concurrent create of the same id: the first
 		// registration wins, this one resolves idempotently against it.
 		m.mu.Unlock()
-		prev.mu.Lock()
+		if err := prev.mu.LockCtx(ctx); err != nil {
+			return Status{}, err
+		}
 		defer prev.mu.Unlock()
 		if prev.dead != nil {
 			return Status{}, prev.dead
+		}
+		if err := m.flushUnjournaledLocked(prev); err != nil {
+			return Status{}, err
 		}
 		return m.statusLocked(prev), nil
 	}
@@ -227,12 +355,16 @@ func (m *Manager) CreateWithID(id string, d *db.Database, r *relation.Relation, 
 	// replay never sees it, matching the in-memory removal above.
 	if m.opts.Journal != nil {
 		recs, err := m.createdRecords(h, d, r, qc, now)
-		if err == nil {
-			err = m.opts.Journal.Append(recs...)
-		}
 		if err != nil {
 			m.remove(h.id)
 			return Status{}, fmt.Errorf("service: journal: %w", err)
+		}
+		if err := m.opts.Journal.Append(recs...); err != nil {
+			// Unwound entirely: replay never sees the session and the
+			// client retries the create once the node is writable again.
+			m.noteAppendError()
+			m.remove(h.id)
+			return Status{}, fmt.Errorf("%w: create journal append: %v", ErrDegraded, err)
 		}
 	}
 	return m.statusLocked(h), nil
@@ -278,7 +410,7 @@ func (m *Manager) Get(id string) (Status, error) {
 // retry. A fatal stepping error kills the session and is returned to this
 // and every later caller.
 func (m *Manager) Feedback(id string, choice int) (Status, error) {
-	return m.FeedbackAt(id, 0, choice)
+	return m.FeedbackAt(context.Background(), id, 0, choice)
 }
 
 // FeedbackAt is Feedback with at-most-once semantics: seq names the round
@@ -287,13 +419,16 @@ func (m *Manager) Feedback(id string, choice int) (Status, error) {
 // dropped connection — the current status is returned without applying the
 // choice again. A seq beyond any round the session has produced returns
 // ErrSeqAhead: the client has acknowledged state the server lost. seq 0
-// skips the check (the legacy unconditional apply).
-func (m *Manager) FeedbackAt(id string, seq, choice int) (Status, error) {
+// skips the check (the legacy unconditional apply). ctx bounds the lock
+// wait and is checked once more before the engine steps.
+func (m *Manager) FeedbackAt(ctx context.Context, id string, seq, choice int) (Status, error) {
 	h, err := m.lookup(id)
 	if err != nil {
 		return Status{}, err
 	}
-	h.mu.Lock()
+	if err := h.mu.LockCtx(ctx); err != nil {
+		return Status{}, err
+	}
 	defer h.mu.Unlock()
 	if h.dead != nil {
 		return Status{}, h.dead
@@ -304,7 +439,13 @@ func (m *Manager) FeedbackAt(id string, seq, choice int) (Status, error) {
 			// The pending round: apply below.
 		case seq <= h.sess.Seq():
 			// Already answered (possibly pre-crash, replayed from the WAL):
-			// idempotent success.
+			// idempotent success — but only once the transition is durable.
+			// Its original append may have failed, leaving it unjournaled;
+			// re-acknowledging then would hand back an ack a crash could
+			// still lose.
+			if err := m.flushUnjournaledLocked(h); err != nil {
+				return Status{}, err
+			}
 			return m.statusLocked(h), nil
 		default:
 			return Status{}, fmt.Errorf("%w: session %s: feedback for round %d, latest round is %d",
@@ -313,6 +454,16 @@ func (m *Manager) FeedbackAt(id string, seq, choice int) (Status, error) {
 	}
 	if h.outcome != nil {
 		return Status{}, ErrFinished
+	}
+	// Degraded gate before mutating: while the journal is down the round
+	// must stay pending (503, client retries) rather than advance state we
+	// cannot make durable. A successful Ping here is also the recovery
+	// path — the first mutation after the fault clears reopens writes.
+	if err := m.checkWritable(); err != nil {
+		return Status{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Status{}, err
 	}
 	answered := 0
 	if h.round != nil {
@@ -345,20 +496,42 @@ func (m *Manager) FeedbackAt(id string, seq, choice int) (Status, error) {
 		mFinished.Inc()
 	}
 	// Write-ahead contract: the accepted transition is durable before it is
-	// acknowledged. A journal failure reports an error (the client must not
-	// trust the ack) while the in-memory state stays consistent; a seq-aware
-	// retry resolves either way.
+	// acknowledged. On journal failure the in-memory state has advanced but
+	// the client gets 503 (no ack): the records are stashed on the handle
+	// and the seq-idempotent retry flushes them before re-acknowledging, so
+	// a transition is never acknowledged while undurable.
 	if m.opts.Journal != nil {
-		recs := []wal.Record{{Type: wal.TypeFeedback, ID: id, Seq: answered,
-			Choice: choice, UnixNs: m.nowNs()}}
+		recs := append([]wal.Record{}, h.unjournaled...)
+		recs = append(recs, wal.Record{Type: wal.TypeFeedback, ID: id, Seq: answered,
+			Choice: choice, UnixNs: m.nowNs()})
 		if h.outcome != nil {
 			recs = append(recs, wal.Record{Type: wal.TypeFinished, ID: id, UnixNs: m.nowNs()})
 		}
 		if err := m.opts.Journal.Append(recs...); err != nil {
-			return Status{}, fmt.Errorf("service: journal: %w", err)
+			h.unjournaled = recs
+			m.noteAppendError()
+			return Status{}, fmt.Errorf("%w: journal append: %v", ErrDegraded, err)
 		}
+		h.unjournaled = nil
+		m.exitDegraded()
 	}
 	return m.statusLocked(h), nil
+}
+
+// flushUnjournaledLocked makes a handle's stashed (accepted but undurable)
+// transitions durable before they can be re-acknowledged; the caller holds
+// h.mu. No-op when nothing is pending.
+func (m *Manager) flushUnjournaledLocked(h *managed) error {
+	if len(h.unjournaled) == 0 || m.opts.Journal == nil {
+		return nil
+	}
+	if err := m.opts.Journal.Append(h.unjournaled...); err != nil {
+		m.noteAppendError()
+		return fmt.Errorf("%w: journal append: %v", ErrDegraded, err)
+	}
+	h.unjournaled = nil
+	m.exitDegraded()
+	return nil
 }
 
 // Abandon removes a session (user walked away). Only live sessions count
@@ -383,9 +556,15 @@ func (m *Manager) Abandon(id string) error {
 // journalAppend is the best-effort append for terminal bookkeeping records
 // (abandoned, dead): losing one degrades recovery to replaying a session
 // that will immediately reach the same terminal state, never to wrong data.
+// Failures are still not silent: they count toward walAppendErrors and trip
+// degraded mode, because a journal that rejects bookkeeping records will
+// reject the next acknowledgement-bearing append too.
 func (m *Manager) journalAppend(recs ...wal.Record) {
-	if m.opts.Journal != nil {
-		_ = m.opts.Journal.Append(recs...)
+	if m.opts.Journal == nil {
+		return
+	}
+	if err := m.opts.Journal.Append(recs...); err != nil {
+		m.noteAppendError()
 	}
 }
 
@@ -459,6 +638,15 @@ type Stats struct {
 	WALRecordsReplayed uint64 `json:"walRecordsReplayed"`
 	RecoveryNs         int64  `json:"recoveryNs"`
 
+	// Fault-plane counters (DESIGN.md §14): journal appends that failed,
+	// whether the manager is currently read-only, how often it entered and
+	// left degraded mode, and the last episode's duration.
+	WALAppendErrors   uint64 `json:"walAppendErrors"`
+	Degraded          bool   `json:"degraded"`
+	DegradedEntered   uint64 `json:"degradedEntered"`
+	DegradedRecovered uint64 `json:"degradedRecovered"`
+	LastDegradedNs    int64  `json:"lastDegradedNs"`
+
 	Cache evalcache.Stats `json:"cache"`
 }
 
@@ -480,6 +668,9 @@ type HealthStatus struct {
 	// succeeded); true when no journal is configured.
 	WALWritable bool   `json:"walWritable"`
 	WALError    string `json:"walError,omitempty"`
+	// Degraded mirrors the manager's read-only mode: mutations are being
+	// refused with 503 until the journal is writable again.
+	Degraded bool `json:"degraded,omitempty"`
 	// Session-count headroom: how many more live sessions fit under the cap.
 	Resident    int `json:"resident"`
 	Live        int `json:"live"`
@@ -509,8 +700,16 @@ func (m *Manager) Health() HealthStatus {
 			hs.OK = false
 			hs.WALWritable = false
 			hs.WALError = err.Error()
+			// The health probe and degraded mode agree by construction: a
+			// node whose journal fails its probe goes read-only, and a
+			// probe that succeeds again restores it (the router unfences
+			// on the same signal).
+			m.enterDegraded()
+		} else {
+			m.exitDegraded()
 		}
 	}
+	hs.Degraded = m.degraded.Load()
 	return hs
 }
 
@@ -549,6 +748,11 @@ func (m *Manager) Stats() Stats {
 		SessionsReplayed:   m.replayed.Load(),
 		WALRecordsReplayed: m.recordsReplayed.Load(),
 		RecoveryNs:         m.recoveryNs.Load(),
+		WALAppendErrors:    m.walAppendErrors.Load(),
+		Degraded:           m.degraded.Load(),
+		DegradedEntered:    m.degradedEntered.Load(),
+		DegradedRecovered:  m.degradedRecovered.Load(),
+		LastDegradedNs:     m.lastDegradedNs.Load(),
 		Cache:              m.cache().Stats(),
 	}
 }
@@ -693,6 +897,7 @@ func (m *Manager) Load(r io.Reader) (int, []error) {
 			continue
 		}
 		h := &managed{
+			mu:       newSessLock(),
 			id:       ss.ID,
 			sess:     sess,
 			created:  time.Unix(0, ss.Created),

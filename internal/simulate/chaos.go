@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"qfe/internal/codec"
+	"qfe/internal/fault"
 	"qfe/internal/feedback"
 	"qfe/internal/par"
 	"qfe/internal/retry"
@@ -78,6 +79,12 @@ type ChaosOptions struct {
 	// cover a crash, a restart and a full recovery replay).
 	CallTimeout time.Duration
 	RetryFor    time.Duration
+	// Faults scripts injected storage and network failures for the chaos
+	// pass (nil = crashes only). The server subprocess gets the schedule's
+	// storage + inbound faults via -fault-schedule; the harness client's
+	// transport applies the outbound ones. The reference pass always runs
+	// unfaulted — it defines the outcomes the faulted run must reproduce.
+	Faults *fault.Schedule
 	// Log receives harness progress lines (default os.Stderr; io.Discard
 	// silences it).
 	Log io.Writer
@@ -115,6 +122,14 @@ type ChaosReport struct {
 	RecoveryTotalNs    int64  `json:"recoveryTotalNs"`
 	RecoveryMaxNs      int64  `json:"recoveryMaxNs"`
 
+	// Fault-plane observations, summed across server process generations
+	// (each restart resets the server's in-memory counters, so the harness
+	// samples /stats before every kill and once at the end).
+	FaultSpec         string `json:"faultSpec,omitempty"`
+	WALAppendErrors   uint64 `json:"walAppendErrors,omitempty"`
+	DegradedEntered   uint64 `json:"degradedEntered,omitempty"`
+	DegradedRecovered uint64 `json:"degradedRecovered,omitempty"`
+
 	WallNs int64 `json:"wallNs"`
 }
 
@@ -124,13 +139,17 @@ type chaosServer struct {
 	opts ChaosOptions
 	port int
 	base string
+	// faultPath names the schedule JSON passed to -fault-schedule (chaos
+	// pass only; empty = no injection). The schedule re-arms on every
+	// restart, so early faults replay in each process generation.
+	faultPath string
 
 	mu  sync.Mutex
 	cmd *exec.Cmd
 }
 
 func (s *chaosServer) args() []string {
-	return []string{
+	a := []string{
 		"-addr", "127.0.0.1:" + strconv.Itoa(s.port),
 		"-state", filepath.Join(s.opts.WorkDir, "state.json"),
 		"-wal", filepath.Join(s.opts.WorkDir, "wal"),
@@ -138,6 +157,10 @@ func (s *chaosServer) args() []string {
 		"-checkpoint", s.opts.Checkpoint.String(),
 		"-candidates", strconv.Itoa(s.opts.MaxCandidates),
 	}
+	if s.faultPath != "" {
+		a = append(a, "-fault-schedule", s.faultPath)
+	}
+	return a
 }
 
 // start launches the server and waits for /healthz.
@@ -153,7 +176,7 @@ func (s *chaosServer) start() error {
 	s.cmd = cmd
 	s.mu.Unlock()
 
-	client := &http.Client{Timeout: time.Second}
+	client := retry.HTTPClient(time.Second)
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		resp, err := client.Get(s.base + "/healthz")
@@ -184,7 +207,7 @@ func (s *chaosServer) kill() {
 
 // stats fetches the server's /stats counters.
 func (s *chaosServer) stats() (service.Stats, error) {
-	client := &http.Client{Timeout: 5 * time.Second}
+	client := retry.HTTPClient(5 * time.Second)
 	resp, err := client.Get(s.base + "/stats")
 	if err != nil {
 		return service.Stats{}, err
@@ -424,6 +447,10 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		Kills:    opts.Kills,
 		Seed:     opts.Seed,
 	}
+	if opts.Faults != nil {
+		fmt.Fprintf(opts.Log, "chaos: fault injection: %d storage + %d network fault(s)\n",
+			len(opts.Faults.Storage), len(opts.Faults.Network))
+	}
 	chaosOut, kstats, err := runPass(opts, filepath.Join(opts.WorkDir, "chaos"), rep)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: kill pass: %w", err)
@@ -436,6 +463,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	rep.WALRecordsReplayed = kstats.records
 	rep.RecoveryTotalNs = kstats.recoveryTotal
 	rep.RecoveryMaxNs = kstats.recoveryMax
+	rep.WALAppendErrors = kstats.walAppendErrors
+	rep.DegradedEntered = kstats.degradedEntered
+	rep.DegradedRecovered = kstats.degradedRecovered
 
 	for i := range chaosOut {
 		co := chaosOut[i]
@@ -477,6 +507,18 @@ type killerStats struct {
 	records       uint64
 	recoveryTotal int64
 	recoveryMax   int64
+
+	// Fault-plane counters, summed across process generations.
+	walAppendErrors   uint64
+	degradedEntered   uint64
+	degradedRecovered uint64
+}
+
+// addFaultStats folds one process generation's fault counters in.
+func (ks *killerStats) addFaultStats(st service.Stats) {
+	ks.walAppendErrors += st.WALAppendErrors
+	ks.degradedEntered += st.DegradedEntered
+	ks.degradedRecovered += st.DegradedRecovered
 }
 
 // runPass drives opts.Sessions sessions against one server instance. With
@@ -495,14 +537,29 @@ func runPass(opts ChaosOptions, workDir string, rep *ChaosReport) ([]sessionOutc
 	passOpts := opts
 	passOpts.WorkDir = workDir
 	srv := &chaosServer{opts: passOpts, port: port, base: "http://127.0.0.1:" + strconv.Itoa(port)}
+	// Faults apply only to the chaos pass (rep != nil): the reference pass
+	// defines the outcomes the faulted run must still reproduce.
+	faulted := rep != nil && opts.Faults != nil
+	if faulted && (opts.Faults.HasStorage() || opts.Faults.HasNetwork(fault.SideInbound)) {
+		srv.faultPath = filepath.Join(workDir, "faults.json")
+		if err := opts.Faults.Save(srv.faultPath); err != nil {
+			return nil, ks, fmt.Errorf("chaos: writing fault schedule: %w", err)
+		}
+	}
 	if err := srv.start(); err != nil {
 		return nil, ks, err
 	}
 	defer srv.kill()
 
+	httpc := retry.HTTPClient(opts.CallTimeout)
+	if faulted && opts.Faults.HasNetwork(fault.SideOutbound) {
+		httpc.Transport = fault.NewTransport(httpc.Transport, opts.Faults, func(format string, args ...any) {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		})
+	}
 	client := &chaosClient{
 		base:     srv.base,
-		client:   &http.Client{Timeout: opts.CallTimeout},
+		client:   httpc,
 		retryFor: opts.RetryFor,
 	}
 
@@ -538,6 +595,12 @@ func runPass(opts ChaosOptions, workDir string, rep *ChaosReport) ([]sessionOutc
 					return
 				case <-time.After(jitter):
 				}
+				// Fault counters live in server memory and die with the
+				// process: sample them before the SIGKILL (best-effort —
+				// /stats stays served even in degraded mode).
+				if st, err := srv.stats(); err == nil {
+					ks.addFaultStats(st)
+				}
 				srv.kill()
 				fmt.Fprintf(opts.Log, "chaos: kill %d/%d (at %d completed sessions, +%s), restarting\n",
 					k+1, opts.Kills, completed.Load(), jitter)
@@ -569,6 +632,12 @@ func runPass(opts ChaosOptions, workDir string, rep *ChaosReport) ([]sessionOutc
 	close(done)
 	killerWG.Wait()
 	ks.retries = client.retries.Load()
+	if faulted {
+		// The final process generation was never sampled by the killer.
+		if st, err := srv.stats(); err == nil {
+			ks.addFaultStats(st)
+		}
+	}
 	return out, ks, nil
 }
 

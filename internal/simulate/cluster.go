@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"qfe/internal/par"
+	"qfe/internal/retry"
 )
 
 // ClusterChaosOptions tunes a cluster chaos run. RouterBin joins
@@ -96,7 +97,7 @@ func (p *proc) start(bin string, args []string) error {
 	p.mu.Lock()
 	p.cmd = cmd
 	p.mu.Unlock()
-	client := &http.Client{Timeout: time.Second}
+	client := retry.HTTPClient(time.Second)
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		resp, err := client.Get(p.base + "/healthz")
@@ -270,7 +271,7 @@ func RunClusterChaos(opts ClusterChaosOptions) (*ClusterReport, error) {
 
 	client := &chaosClient{
 		base:     router.base,
-		client:   &http.Client{Timeout: opts.CallTimeout},
+		client:   retry.HTTPClient(opts.CallTimeout),
 		retryFor: opts.RetryFor,
 	}
 
@@ -381,7 +382,7 @@ type clusterStatsLite struct {
 }
 
 func fetchClusterStats(base string) (*clusterStatsLite, error) {
-	client := &http.Client{Timeout: 5 * time.Second}
+	client := retry.HTTPClient(5 * time.Second)
 	resp, err := client.Get(base + "/cluster/stats")
 	if err != nil {
 		return nil, err

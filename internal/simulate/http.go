@@ -14,6 +14,7 @@ import (
 	"qfe/internal/evalcache"
 	"qfe/internal/feedback"
 	"qfe/internal/relation"
+	"qfe/internal/retry"
 	"qfe/internal/scenario"
 	"qfe/internal/service"
 )
@@ -28,7 +29,7 @@ import (
 // Latency per round is the HTTP round-trip measured through the runner's
 // clock.
 func (r *Runner) runHTTP(sc *scenario.Scenario, idx int, res *SessionResult) {
-	client := &http.Client{Timeout: r.opts.HTTPTimeout}
+	client := retry.HTTPClient(r.opts.HTTPTimeout)
 	base := r.opts.Server
 
 	req := service.CreateRequest{
@@ -204,7 +205,7 @@ func (r *Runner) call(client *http.Client, method, url string, body any, res *Se
 
 // serverCacheStats fetches /stats and extracts the evaluation-cache block.
 func (r *Runner) serverCacheStats() (evalcache.Stats, error) {
-	client := &http.Client{Timeout: r.opts.HTTPTimeout}
+	client := retry.HTTPClient(r.opts.HTTPTimeout)
 	resp, err := client.Get(r.opts.Server + "/stats")
 	if err != nil {
 		return evalcache.Stats{}, err

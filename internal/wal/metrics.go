@@ -29,9 +29,18 @@ var (
 )
 
 // syncTimed wraps an fsync of the active segment with the latency histogram.
+// A SyncHook (fault injection) replaces the fsync entirely when it errors;
+// its sleep time is deliberately included in the histogram so an injected
+// stall is visible where a real one would be.
 func (l *Log) syncTimed() error {
 	start := time.Now()
-	err := l.f.Sync()
+	var err error
+	if l.opts.SyncHook != nil {
+		err = l.opts.SyncHook()
+	}
+	if err == nil {
+		err = l.f.Sync()
+	}
 	mFsync.ObserveDuration(time.Since(start))
 	return err
 }

@@ -114,6 +114,16 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncInterval is SyncInterval's flush period (default 50ms).
 	SyncInterval time.Duration
+	// WriteHook, when set, intercepts every batch write — the seam
+	// internal/fault uses to script storage failures. It reports how many
+	// prefix bytes of the batch to actually write (n < len(b) produces a
+	// genuine torn record on disk) and an error to surface to the caller.
+	// A nil hook writes the whole batch.
+	WriteHook func(b []byte) (n int, err error)
+	// SyncHook, when set, runs in place of each fsync's entry: it may
+	// sleep (fsync stall) and/or return an error (EIO), in which case the
+	// real fsync is skipped and the error surfaces to the caller.
+	SyncHook func() error
 }
 
 var (
@@ -131,6 +141,7 @@ type Log struct {
 	seg     uint64 // index of the active segment
 	size    int64  // bytes written to the active segment
 	closed  bool
+	broken  bool // torn tail could not be truncated away; log refuses appends
 	stopSyn chan struct{}
 }
 
@@ -250,6 +261,9 @@ func (l *Log) Append(recs ...Record) error {
 	if l.closed {
 		return fmt.Errorf("wal: log closed")
 	}
+	if l.broken {
+		return fmt.Errorf("wal: segment tail unrecoverable after failed write")
+	}
 	if l.size >= l.opts.SegmentBytes {
 		if err := l.openSegmentLocked(l.seg + 1); err != nil {
 			return err
@@ -257,8 +271,39 @@ func (l *Log) Append(recs ...Record) error {
 	}
 	// One write per batch: a crash tears at most the batch's tail, never
 	// interleaves records.
-	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+	n, hookErr := len(buf), error(nil)
+	if l.opts.WriteHook != nil {
+		n, hookErr = l.opts.WriteHook(buf)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if n < 0 {
+			n = 0
+		}
+	}
+	wrote := 0
+	var werr error
+	if n > 0 {
+		wrote, werr = l.f.Write(buf[:n])
+	}
+	if werr == nil && hookErr != nil {
+		werr = hookErr
+	}
+	if werr == nil && wrote < len(buf) {
+		werr = io.ErrShortWrite
+	}
+	if werr != nil {
+		// A failed or short write leaves a torn record at the segment
+		// tail. Restore the invariant that a live segment holds only
+		// whole records by truncating the partial bytes away; if even
+		// that fails, latch the log broken — appending past torn bytes
+		// would let replay's corruption rule drop later acknowledged
+		// records, so a log that cannot heal its tail must refuse all
+		// further appends (the node degrades and the cluster fails over).
+		if terr := l.truncateTailLocked(); terr != nil {
+			l.broken = true
+		}
+		return fmt.Errorf("wal: append: %w", werr)
 	}
 	l.size += int64(len(buf))
 	mAppend.ObserveDuration(time.Since(start))
@@ -271,6 +316,17 @@ func (l *Log) Append(recs ...Record) error {
 		}
 	}
 	return nil
+}
+
+// truncateTailLocked drops any partially-written bytes past the last whole
+// record and repositions the write offset (the file is plain O_WRONLY, not
+// O_APPEND, so the offset must follow the truncation).
+func (l *Log) truncateTailLocked() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(l.size, io.SeekStart)
+	return err
 }
 
 // Sync flushes the active segment to stable storage.
@@ -293,6 +349,9 @@ func (l *Log) Ping() error {
 	defer l.mu.Unlock()
 	if l.closed || l.f == nil {
 		return fmt.Errorf("wal: log closed")
+	}
+	if l.broken {
+		return fmt.Errorf("wal: segment tail unrecoverable after failed write")
 	}
 	return l.syncTimed()
 }
